@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig14            # one experiment
+//	experiments -run all              # everything, in paper order
+//	experiments -run fig18 -scale 0.3 # shorter measurement windows
+//	experiments -run all -json        # machine-readable reports
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vsched/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id (fig2..fig21, table2..table4) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		scale   = flag.Float64("scale", 1.0, "measurement window scale factor")
+		verbose = flag.Bool("v", false, "verbose notes")
+		asJSON  = flag.Bool("json", false, "emit reports as JSON lines")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	opt := experiments.Options{Seed: *seed, Scale: *scale, Verbose: *verbose}
+	var runners []experiments.Runner
+	if strings.EqualFold(*run, "all") {
+		runners = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			runners = append(runners, r)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range runners {
+		start := time.Now()
+		rep := r.Run(opt)
+		if *asJSON {
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

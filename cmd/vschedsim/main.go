@@ -1,0 +1,217 @@
+// Command vschedsim runs a single custom scenario: a VM on a configurable
+// host with optional co-tenant contention, a catalogued workload, and any
+// vSched feature combination, reporting throughput/latency and scheduler
+// counters.
+//
+// Examples:
+//
+//	vschedsim -workload nginx -vcpus 8 -share 0.5 -vsched
+//	vschedsim -workload masstree -vcpus 16 -share 0.5 -latency 8ms -features vcap,vact,vtop,bvs
+//	vschedsim -workload canneal -threads 4 -vcpus 16 -share 0.5 -features vcap,vact,ivh -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vsched"
+	"vsched/internal/trace"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "nginx", "catalogued benchmark (see -list)")
+		list         = flag.Bool("list", false, "list workloads and exit")
+		vcpus        = flag.Int("vcpus", 8, "vCPU count (pinned 1:1 on threads)")
+		threads      = flag.Int("threads", 0, "workload threads (0 = default)")
+		sockets      = flag.Int("sockets", 1, "host sockets")
+		cores        = flag.Int("cores", 0, "cores per socket (0 = vcpus)")
+		smt          = flag.Bool("smt", false, "enable SMT/turbo speed effects")
+		share        = flag.Float64("share", 1.0, "fair share each vCPU gets of its core (1.0 = dedicated)")
+		latency      = flag.Duration("latency", 0, "target vCPU latency via host granularities (0 = default)")
+		vschedOn     = flag.Bool("vsched", false, "enable full vSched")
+		featuresFlag = flag.String("features", "", "comma-separated subset: vcap,vact,vtop,bvs,ivh,rwc")
+		policy       = flag.String("policy", "cfs", "guest scheduling policy: cfs or eevdf")
+		duration     = flag.Duration("duration", 20*time.Second, "virtual measurement time")
+		warmup       = flag.Duration("warmup", 5*time.Second, "virtual warmup time")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		watch        = flag.Bool("watch", false, "print a per-second top-style vCPU table during the run")
+		timeline     = flag.Bool("timeline", false, "print KernelShark-style per-vCPU activity strips at the end")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(vsched.WorkloadNames(), ", "))
+		return
+	}
+
+	nCores := *cores
+	if nCores == 0 {
+		nCores = *vcpus
+	}
+	cl := vsched.NewCluster(vsched.ClusterConfig{
+		Seed: *seed, Sockets: *sockets, CoresPerSocket: nCores, SMT: *smt,
+	})
+	ids := make([]int, *vcpus)
+	for i := range ids {
+		ids[i] = i
+	}
+	gp := vsched.DefaultGuestParams()
+	switch strings.ToLower(*policy) {
+	case "cfs":
+	case "eevdf":
+		gp.Policy = vsched.PolicyEEVDF
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -policy %q (want cfs or eevdf)\n", *policy)
+		os.Exit(1)
+	}
+	vm := cl.NewVMWithParams("vm", ids, gp)
+
+	// Host contention per the requested share and latency.
+	if *share < 1.0 {
+		w := int64(float64(vsched.DefaultWeight) * (1 - *share) / *share)
+		for i := 0; i < *vcpus; i++ {
+			cl.AddStressor(i, w)
+		}
+	}
+	if *latency > 0 {
+		for i := 0; i < *vcpus; i++ {
+			cl.SetVCPULatency(i, vsched.Duration(latency.Nanoseconds()))
+		}
+	}
+
+	var sched *vsched.VSched
+	feats := vsched.Features{}
+	if *vschedOn {
+		feats = vsched.AllFeatures()
+	}
+	for _, f := range strings.Split(*featuresFlag, ",") {
+		switch strings.TrimSpace(strings.ToLower(f)) {
+		case "":
+		case "vcap":
+			feats.Vcap = true
+		case "vact":
+			feats.Vact = true
+		case "vtop":
+			feats.Vtop = true
+		case "bvs":
+			feats.BVS = true
+		case "ivh":
+			feats.IVH = true
+		case "rwc":
+			feats.RWC = true
+		default:
+			fmt.Fprintf(os.Stderr, "unknown feature %q\n", f)
+			os.Exit(1)
+		}
+	}
+	if feats != (vsched.Features{}) {
+		sched = cl.EnableVSched(vm, feats)
+	}
+
+	var timelines []*trace.Timeline
+	if *timeline {
+		for i := 0; i < vm.NumVCPUs(); i++ {
+			timelines = append(timelines, trace.Attach(vm.VCPU(i).Entity()))
+		}
+	}
+
+	inst := cl.Workload(vm, sched, *workloadName, *threads)
+	inst.Start()
+
+	warm := vsched.Duration(warmup.Nanoseconds())
+	window := vsched.Duration(duration.Nanoseconds())
+	if *watch {
+		watchLoop(cl, vm, sched, warm+window)
+	}
+	cl.RunFor(warm)
+	var srv *vsched.Server
+	if s, ok := inst.(*vsched.Server); ok {
+		srv = s
+		srv.ResetStats()
+	}
+	opsBefore := inst.Ops()
+	start := time.Now()
+	cl.RunFor(window)
+	wall := time.Since(start)
+
+	ops := inst.Ops() - opsBefore
+	fmt.Printf("workload=%s vcpus=%d share=%.2f features=%+v\n", *workloadName, *vcpus, *share, feats)
+	fmt.Printf("ops=%d (%.1f/s virtual)\n", ops, float64(ops)/window.Seconds())
+	if srv != nil {
+		fmt.Printf("latency p50=%.3fms p95=%.3fms p99=%.3fms (queue p95=%.3fms service p95=%.3fms)\n",
+			float64(srv.E2E().P50())/1e6, float64(srv.E2E().P95())/1e6, float64(srv.E2E().P99())/1e6,
+			float64(srv.Queue().P95())/1e6, float64(srv.Service().P95())/1e6)
+	}
+	st := vm.Stats()
+	fmt.Printf("sched: ctxsw=%d wakeups=%d migrations=%d ipis=%d (cross-socket %d)\n",
+		st.ContextSwitches, st.Wakeups, st.Migrations, st.IPIs, st.CrossIPIs)
+	fmt.Printf("cycles=%.3g (cps=%.3g/s)\n", vm.TotalCycles(), vm.TotalCycles()/window.Seconds())
+	if sched != nil {
+		ivh := sched.IVHStats()
+		calls, hits := sched.BVSStats()
+		fmt.Printf("vsched: ivh=%+v bvs=%d/%d vtop full=%v validate=%v\n",
+			ivh, hits, calls, sched.Vtop().LastFullTime(), sched.Vtop().LastValidateTime())
+		caps := make([]string, vm.NumVCPUs())
+		for i := range caps {
+			caps[i] = fmt.Sprintf("%d", vm.VCPU(i).Capacity())
+		}
+		fmt.Printf("probed capacities: %s\n", strings.Join(caps, " "))
+	}
+	if *timeline {
+		// Last 80ms of the run, one strip per vCPU:
+		// '#' running, '.' preempted, 't' throttled, ' ' halted.
+		to := cl.Now()
+		from := to - vsched.Time(80*vsched.Millisecond)
+		fmt.Println("vCPU activity, final 80ms:")
+		for i, tl := range timelines {
+			fmt.Printf("  v%-3d |%s|  running %2.0f%%\n", i,
+				tl.Render(72, from, to), 100*tl.RunningFraction(from, to))
+		}
+	}
+	fmt.Printf("(simulated %v in %v wall time)\n", duration, wall.Round(time.Millisecond))
+}
+
+// watchLoop schedules a per-virtual-second snapshot of every vCPU: probed
+// capacity and latency next to the physical truth (host thread, entity
+// state), plus guest queue depth — a "top" for the simulation.
+func watchLoop(cl *vsched.Cluster, vm *vsched.VM, sched *vsched.VSched, until vsched.Duration) {
+	eng := cl.Engine()
+	var snap func()
+	snap = func() {
+		fmt.Printf("--- t=%v ---\n", eng.Now())
+		fmt.Printf("%-5s %-9s %-11s %-8s %-7s %-10s %s\n",
+			"vcpu", "probedCap", "probedLat", "rqlen", "curr", "entState", "thread(skt/core/slot)")
+		for i := 0; i < vm.NumVCPUs(); i++ {
+			v := vm.VCPU(i)
+			curr := "-"
+			if c := v.Curr(); c != nil {
+				curr = c.Name()
+				if len(curr) > 7 {
+					curr = curr[:7]
+				}
+			}
+			th := v.Entity().Thread()
+			fmt.Printf("%-5d %-9d %-11v %-8d %-7s %-10v %d/%d/%d\n",
+				i, v.Capacity(), v.Latency(), v.RunqueueLen(), curr,
+				v.Entity().State(), th.Socket(), th.Core(), th.Slot())
+		}
+		if sched != nil {
+			b := sched.Vtop().Belief()
+			var stacks []string
+			for _, g := range b.StackGroups() {
+				stacks = append(stacks, fmt.Sprint(g))
+			}
+			if len(stacks) > 0 {
+				fmt.Println("stacked groups:", strings.Join(stacks, " "))
+			}
+		}
+		if eng.Now() < vsched.Time(until) {
+			eng.After(vsched.Second, snap)
+		}
+	}
+	eng.After(vsched.Second, snap)
+}

@@ -1,0 +1,3 @@
+module vsched
+
+go 1.22

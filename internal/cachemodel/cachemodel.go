@@ -1,0 +1,132 @@
+// Package cachemodel models the latency of transferring a cache line
+// between two hardware threads, as a function of their topological relation.
+// vtop (internal/core) uses these latencies the same way the paper's prober
+// uses real atomic read-modify-write ping-pong: the observed minimum latency
+// classifies the relation between two vCPUs.
+//
+// Default values follow Fig. 10(b) of the paper: ~6-7 ns between SMT
+// siblings (line stays in the shared private cache), ~45-50 ns between cores
+// of one socket (L2->L2 or LLC transfer), ~95-116 ns across sockets
+// (inter-socket bus). Stacked vCPUs never run simultaneously, so transfers
+// essentially never complete; the prober reports an infinite distance.
+package cachemodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Relation is the topological relation between the hardware threads hosting
+// two vCPUs at a given moment.
+type Relation int
+
+const (
+	// Self means the two entities share one hardware thread (stacked vCPUs).
+	Self Relation = iota
+	// SMT means sibling hardware threads of one core (shared L1/L2).
+	SMT
+	// Socket means different cores within one socket (shared LLC).
+	Socket
+	// Cross means different sockets (inter-socket interconnect).
+	Cross
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Self:
+		return "stacked"
+	case SMT:
+		return "smt-sibling"
+	case Socket:
+		return "inter-core"
+	case Cross:
+		return "cross-socket"
+	}
+	return "unknown"
+}
+
+// Infinite is the latency reported for pairs whose transfers never complete
+// (stacked vCPUs). Matches the ∞ entries of Fig. 10(b).
+const Infinite = math.MaxInt64
+
+// Model holds the base one-way transfer latencies in nanoseconds and a
+// relative jitter applied per measurement.
+type Model struct {
+	SMTBase    int64   // same core, sibling threads
+	SocketBase int64   // same socket, different core
+	CrossBase  int64   // different sockets
+	JitterFrac float64 // relative measurement noise, e.g. 0.15
+	// AttemptCost is the CPU cost of one probe attempt (atomic RMW plus spin
+	// check); it bounds how fast the prober can cycle even when the partner
+	// is inactive.
+	AttemptCost int64
+}
+
+// Default returns a model calibrated to the paper's measured matrix.
+func Default() Model {
+	return Model{
+		SMTBase:     6,
+		SocketBase:  46,
+		CrossBase:   100,
+		JitterFrac:  0.18,
+		AttemptCost: 30,
+	}
+}
+
+// Base returns the noise-free one-way transfer latency for a relation.
+// Self returns Infinite.
+func (m Model) Base(r Relation) int64 {
+	switch r {
+	case SMT:
+		return m.SMTBase
+	case Socket:
+		return m.SocketBase
+	case Cross:
+		return m.CrossBase
+	default:
+		return Infinite
+	}
+}
+
+// Sample returns one measured transfer latency for a relation, with
+// measurement noise. Noise is strictly additive (contention, queuing), so
+// the minimum over many samples converges to Base — exactly why the paper's
+// prober records the lowest latency.
+func (m Model) Sample(r Relation, rng *rand.Rand) int64 {
+	b := m.Base(r)
+	if b == Infinite {
+		return Infinite
+	}
+	noise := rng.ExpFloat64() * m.JitterFrac * float64(b)
+	return b + int64(noise)
+}
+
+// RoundTripCost returns the CPU time one successful probe transfer consumes
+// on each participating vCPU: the line bounces both ways plus per-attempt
+// overhead.
+func (m Model) RoundTripCost(r Relation) int64 {
+	b := m.Base(r)
+	if b == Infinite {
+		return Infinite
+	}
+	return 2*b + m.AttemptCost
+}
+
+// Classify maps a measured minimum latency back to the relation it most
+// likely came from, using midpoints between the base latencies as decision
+// boundaries. This is the inverse operation vtop applies to its matrix.
+func (m Model) Classify(minLatency int64) Relation {
+	if minLatency == Infinite {
+		return Self
+	}
+	smtSocket := (m.SMTBase + m.SocketBase) / 2
+	socketCross := (m.SocketBase + m.CrossBase) / 2
+	switch {
+	case minLatency <= smtSocket:
+		return SMT
+	case minLatency <= socketCross:
+		return Socket
+	default:
+		return Cross
+	}
+}

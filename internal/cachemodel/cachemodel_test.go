@@ -1,0 +1,109 @@
+package cachemodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		Self: "stacked", SMT: "smt-sibling", Socket: "inter-core", Cross: "cross-socket",
+		Relation(99): "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("%d: got %q want %q", r, got, want)
+		}
+	}
+}
+
+func TestBaseOrdering(t *testing.T) {
+	m := Default()
+	if !(m.Base(SMT) < m.Base(Socket) && m.Base(Socket) < m.Base(Cross)) {
+		t.Fatal("base latencies must be strictly ordered SMT < Socket < Cross")
+	}
+	if m.Base(Self) != Infinite {
+		t.Fatal("stacked pairs must be infinitely distant")
+	}
+}
+
+func TestSampleNoiseIsAdditive(t *testing.T) {
+	m := Default()
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []Relation{SMT, Socket, Cross} {
+		min := int64(1 << 62)
+		for i := 0; i < 500; i++ {
+			s := m.Sample(r, rng)
+			if s < m.Base(r) {
+				t.Fatalf("sample %d below base %d for %v", s, m.Base(r), r)
+			}
+			if s < min {
+				min = s
+			}
+		}
+		// The minimum of many samples converges near the base latency.
+		if min > m.Base(r)+m.Base(r)/4+2 {
+			t.Fatalf("min sample %d too far above base %d for %v", min, m.Base(r), r)
+		}
+	}
+	if m.Sample(Self, rng) != Infinite {
+		t.Fatal("stacked sample must be Infinite")
+	}
+}
+
+func TestClassifyRoundTrip(t *testing.T) {
+	m := Default()
+	rng := rand.New(rand.NewSource(2))
+	for _, r := range []Relation{Self, SMT, Socket, Cross} {
+		// Even a single noisy sample should classify correctly with default
+		// jitter; vtop uses the min of hundreds.
+		minLat := int64(1 << 62)
+		if r == Self {
+			minLat = Infinite
+		} else {
+			for i := 0; i < 100; i++ {
+				if s := m.Sample(r, rng); s < minLat {
+					minLat = s
+				}
+			}
+		}
+		if got := m.Classify(minLat); got != r {
+			t.Fatalf("classify(min of %v samples)=%v", r, got)
+		}
+	}
+}
+
+// Property: classification of the noise-free base latency is always the
+// original relation, for any sane model geometry.
+func TestClassifyProperty(t *testing.T) {
+	prop := func(smt, gapSocket, gapCross uint8) bool {
+		m := Model{
+			SMTBase:    int64(smt%40) + 1,
+			JitterFrac: 0.1,
+		}
+		m.SocketBase = m.SMTBase + int64(gapSocket%100) + 2
+		m.CrossBase = m.SocketBase + int64(gapCross%100) + 2
+		for _, r := range []Relation{SMT, Socket, Cross} {
+			if m.Classify(m.Base(r)) != r {
+				return false
+			}
+		}
+		return m.Classify(Infinite) == Self
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripCost(t *testing.T) {
+	m := Default()
+	if m.RoundTripCost(Self) != Infinite {
+		t.Fatal("stacked round trip must be Infinite")
+	}
+	if c := m.RoundTripCost(SMT); c != 2*m.SMTBase+m.AttemptCost {
+		t.Fatalf("smt cost=%d", c)
+	}
+	if m.RoundTripCost(Cross) <= m.RoundTripCost(SMT) {
+		t.Fatal("cross-socket transfers must cost more than SMT")
+	}
+}

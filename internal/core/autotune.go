@@ -1,0 +1,58 @@
+package core
+
+import (
+	"vsched/internal/sim"
+)
+
+// AutoTune implements the paper's §6 claim that the Table 1 tunables "can be
+// easily auto-configured across different platforms": after the probers have
+// observed the host for a few seconds, the sampling geometry is re-derived
+// from the measured vCPU dynamics instead of hand-set constants.
+//
+// Rules, following the paper's rationale:
+//
+//   - the vcap sampling period must span at least one full activity cycle of
+//     every vCPU (otherwise share measurements alias), with head-room 2x;
+//   - the light sampling interval keeps the duty ratio of probing constant
+//     (period:interval = 1:10), bounding overhead while reacting within
+//     seconds;
+//   - ivh's migration threshold tracks the scheduler tick (trigger within
+//     two ticks of a rescheduled vCPU, per §6).
+//
+// It returns the adjusted parameters, which take effect from the next
+// sampling window.
+func (s *VSched) AutoTune() Params {
+	var maxCycle sim.Duration
+	for _, v := range s.vm.VCPUs() {
+		// Dedicated vCPUs have no activity cycle: their "active period" is
+		// just the sampling window. Only contended vCPUs constrain the
+		// sampling geometry.
+		if v.Latency() < sim.Millisecond {
+			continue
+		}
+		if c := v.AvgActive() + v.Latency(); c > maxCycle {
+			maxCycle = c
+		}
+	}
+	p := s.params
+
+	period := 2 * maxCycle
+	if period < 100*sim.Millisecond {
+		period = 100 * sim.Millisecond
+	}
+	if period > 500*sim.Millisecond {
+		period = 500 * sim.Millisecond
+	}
+	p.SamplePeriod = period
+
+	interval := 10 * period
+	if interval < sim.Second {
+		interval = sim.Second
+	}
+	p.LightEvery = interval
+
+	p.IVHMinRun = 2 * s.vm.Params().TickPeriod
+
+	s.params = p
+	return p
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"vsched/internal/guest"
+	"vsched/internal/sim"
+)
+
+// ivh implements intra-VM harvesting (§3.3): proactive migration of
+// CPU-intensive running tasks off vCPUs that suffer inactive periods, onto
+// unused vCPUs where they keep making progress — harvesting vCPU time that
+// would otherwise be wasted while the task sits stalled.
+//
+// The activity-aware protocol (Fig. 9) bounds migration delay: the source
+// pre-wakes the target with an interrupt; the target, once genuinely
+// active, issues a pull request; the stopper on the source detaches the
+// running task — possible only while the source itself is still active. A
+// late pull (source already preempted, task already stalled) is abandoned.
+type ivh struct {
+	s             *VSched
+	activityAware bool
+	inflight      map[int]uint64 // source vCPU id -> live attempt id
+	attemptSeq    uint64
+	stats         IVHStats
+}
+
+// IVHStats counts protocol outcomes.
+type IVHStats struct {
+	Attempts  uint64
+	Migrated  uint64
+	Abandoned uint64
+}
+
+const (
+	stopperCost = 15 * sim.Microsecond // stopper thread round trip
+	// pullTimeout bounds how long a pre-woken target gets to issue its pull
+	// request; afterwards the attempt is abandoned and the next tick may
+	// pick a better target.
+	pullTimeout = 2 * sim.Millisecond
+)
+
+func newIVH(s *VSched) *ivh {
+	return &ivh{s: s, activityAware: true, inflight: make(map[int]uint64)}
+}
+
+// onTick is installed as the guest tick hook; it runs on every tick of every
+// vCPU while that vCPU is really active.
+func (h *ivh) onTick(v *guest.VCPU) {
+	if h.inflight[v.ID()] != 0 {
+		return
+	}
+	t := v.Curr()
+	now := h.s.eng.Now()
+	if t == nil || t.IsIdlePolicy() || t.Group() == h.s.proberGroup {
+		return
+	}
+	// CPU-intensive and has been running a minimum duration (PELT + the
+	// 2ms threshold), on a vCPU with known inactive periods.
+	if t.Util() < h.s.params.CPUIntensiveUtil {
+		return
+	}
+	if now.Sub(t.RunStart()) < h.s.params.IVHMinRun {
+		return
+	}
+	if v.Latency() == 0 {
+		return // probed as dedicated: nothing to harvest
+	}
+	dst := h.findTarget(t, v)
+	if dst == nil {
+		return
+	}
+	h.stats.Attempts++
+	h.attemptSeq++
+	id := h.attemptSeq
+	h.inflight[v.ID()] = id
+	if !h.activityAware {
+		// Ablation (Table 4): migrate immediately regardless of target
+		// activity; the task may land on an inactive vCPU and stall there.
+		h.s.eng.After(stopperCost, func() {
+			delete(h.inflight, v.ID())
+			if h.s.vm.PullRunning(v, dst, t) {
+				h.stats.Migrated++
+			} else {
+				h.stats.Abandoned++
+			}
+		})
+		return
+	}
+	// Step 1: interrupt the target (pre-wake if halted).
+	h.s.vm.KickVCPU(dst)
+	// Step 2: the target issues the pull request as soon as it really runs;
+	// step 3: the stopper on the source detaches the task. PullRunning
+	// fails — and we abandon — when the source has lost the CPU by then. A
+	// target that does not come up within the timeout is abandoned too, so
+	// the next tick can try a better one.
+	h.s.vm.DeliverIRQ(dst, func() {
+		if h.inflight[v.ID()] != id {
+			return // attempt expired
+		}
+		h.s.eng.After(stopperCost, func() {
+			if h.inflight[v.ID()] != id {
+				return
+			}
+			delete(h.inflight, v.ID())
+			if h.s.vm.PullRunning(v, dst, t) {
+				h.stats.Migrated++
+			} else {
+				h.stats.Abandoned++
+			}
+		})
+	})
+	h.s.eng.After(pullTimeout, func() {
+		if h.inflight[v.ID()] == id {
+			delete(h.inflight, v.ID())
+			h.stats.Abandoned++
+		}
+	})
+}
+
+// findTarget searches for an unused vCPU able to engage quickly: guest-idle
+// or running only best-effort work, allowed by the task's cgroup, with
+// adequate capacity; activity-aware mode additionally requires it to be
+// active now or idle (wakeable).
+func (h *ivh) findTarget(t *guest.Task, src *guest.VCPU) *guest.VCPU {
+	n := h.s.vm.NumVCPUs()
+	medCap := h.s.medianCapacity()
+	start := src.ID() + 1
+	var fallback *guest.VCPU
+	for k := 0; k < n; k++ {
+		v := h.s.vm.VCPU((start + k) % n)
+		if v == src || !h.s.allowedForTask(t, v) {
+			continue
+		}
+		unused := v.GuestIdle() || v.OnlyIdlePolicy()
+		if !unused {
+			continue
+		}
+		if v.Capacity() < medCap/2 {
+			continue // don't harvest onto stragglers
+		}
+		if !h.activityAware {
+			return v
+		}
+		st, _ := h.s.QueryState(v)
+		switch st {
+		case StateActive:
+			return v // immediate engagement (sched_idle target, Fig. 9 middle)
+		case StateIdle:
+			if fallback == nil {
+				fallback = v // needs a pre-wake kick; acceptable
+			}
+		}
+	}
+	return fallback
+}

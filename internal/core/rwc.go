@@ -1,0 +1,121 @@
+package core
+
+// rwc implements relaxed work conservation (§3.4): problematic idle vCPUs
+// are deliberately hidden from task placement via cgroup masks, departing
+// from the work-conservation invariant when honouring it would hurt.
+//
+// Straggler vCPUs (capacity far below average) are hidden from normal user
+// tasks but stay open to best-effort work and to vcap's light sampling (so a
+// capacity recovery is noticed). Of each stacking group only one vCPU stays
+// visible; the rest are banned for everything, including vcap probing, which
+// could itself cause priority inversion — only vtop may still touch them to
+// detect stacking changes.
+type rwc struct {
+	s *VSched
+
+	straggler   []bool
+	stackBanned []bool
+}
+
+func newRWC(s *VSched) *rwc {
+	n := s.vm.NumVCPUs()
+	return &rwc{
+		s:           s,
+		straggler:   make([]bool, n),
+		stackBanned: make([]bool, n),
+	}
+}
+
+// onCapacityUpdate reclassifies stragglers after each vcap publication.
+func (r *rwc) onCapacityUpdate() {
+	if !r.s.features.RWC {
+		return
+	}
+	vs := r.s.vm.VCPUs()
+	var sum float64
+	var n int
+	for _, v := range vs {
+		if r.stackBanned[v.ID()] {
+			continue
+		}
+		sum += float64(v.Capacity())
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	avg := sum / float64(n)
+	changed := false
+	for _, v := range vs {
+		// Hysteresis: classify below avg/factor, declassify only above
+		// avg/(0.8*factor) — a vCPU sitting at the boundary must not
+		// flip-flop the cgroup masks every sampling period.
+		enter := avg / r.s.params.StragglerFactor
+		exit := enter * 1.25
+		is := r.straggler[v.ID()]
+		if r.stackBanned[v.ID()] {
+			is = false
+		} else if is {
+			is = float64(v.Capacity()) < exit
+		} else {
+			is = float64(v.Capacity()) < enter
+		}
+		if is != r.straggler[v.ID()] {
+			r.straggler[v.ID()] = is
+			changed = true
+		}
+	}
+	if changed {
+		r.apply()
+	}
+}
+
+// onTopologyUpdate re-derives stacking bans after vtop publishes a belief.
+func (r *rwc) onTopologyUpdate() {
+	if !r.s.features.RWC {
+		return
+	}
+	n := r.s.vm.NumVCPUs()
+	banned := make([]bool, n)
+	for _, g := range r.s.vtop.Belief().StackGroups() {
+		// Keep the first member of each stacking group; hide the rest.
+		for _, m := range g[1:] {
+			banned[m] = true
+		}
+	}
+	changed := false
+	for i := range banned {
+		if banned[i] != r.stackBanned[i] {
+			changed = true
+		}
+	}
+	if changed {
+		copy(r.stackBanned, banned)
+		r.apply()
+	}
+}
+
+// apply pushes the current bans into the cgroup masks: normal user tasks
+// avoid stragglers and stacked duplicates; best-effort tasks and probers
+// avoid only stacked duplicates; vcap halts sampling on stacked duplicates.
+func (r *rwc) apply() {
+	n := r.s.vm.NumVCPUs()
+	normal := make([]bool, n)
+	be := make([]bool, n)
+	anyNormal := false
+	for i := 0; i < n; i++ {
+		normal[i] = !r.straggler[i] && !r.stackBanned[i]
+		be[i] = !r.stackBanned[i]
+		if normal[i] {
+			anyNormal = true
+		}
+	}
+	if !anyNormal {
+		// Never hide everything: fall back to the best-effort mask.
+		copy(normal, be)
+	}
+	r.s.vm.SetGroupMask(r.s.userGroup, normal)
+	r.s.vm.SetGroupMask(r.s.beGroup, be)
+	r.s.vm.SetGroupMask(r.s.proberGroup, be)
+	r.s.vcap.setBanned(r.stackBanned)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"vsched/internal/guest"
+	"vsched/internal/sim"
+)
+
+// Vllc is the cache prober the paper's conclusion calls for ("we plan to
+// extend our probing efforts to other resources"): it estimates each
+// believed LLC domain's effective cache share, CacheInspector-style, by
+// running a reference working set in the domain and comparing the achieved
+// work rate against the cache-cold nominal rate vcap calibrated. A share
+// near 1.0 means the domain's LLC is uncontended; lower values mean
+// co-resident working sets (from this VM or, on real hardware, from
+// neighbours) are evicting the probe.
+//
+// The published shares are advisory: the scheduler does not consume them
+// (the paper stops at the suggestion), but workload placement policies and
+// operators can, via VSched.CacheShare.
+type Vllc struct {
+	s *VSched
+	// one probe slot per believed socket representative
+	shares  map[int]float64 // socket group id -> last measured share
+	every   sim.Duration
+	window  sim.Duration
+	refMB   float64
+	started bool
+}
+
+func newVllc(s *VSched) *Vllc {
+	return &Vllc{
+		s:      s,
+		shares: map[int]float64{},
+		every:  2 * sim.Second,
+		window: 20 * sim.Millisecond,
+		refMB:  4,
+	}
+}
+
+// CacheShare returns the latest measured effective-cache share of the
+// believed LLC domain containing vCPU id (1.0 until first measured).
+func (s *VSched) CacheShare(vcpuID int) float64 {
+	g := s.vm.Topology().SocketOf[vcpuID]
+	if sh, ok := s.vllc.shares[g]; ok {
+		return sh
+	}
+	return 1.0
+}
+
+func (l *Vllc) start() {
+	if l.started {
+		return
+	}
+	l.started = true
+	l.s.eng.After(l.every, l.round)
+}
+
+// round probes every believed socket in turn (one prober at a time to keep
+// the probe's own pressure out of other domains' measurements).
+func (l *Vllc) round() {
+	sockets := l.s.vm.Topology().Sockets()
+	var next func(k int)
+	next = func(k int) {
+		if k >= len(sockets) {
+			l.s.eng.After(l.every, l.round)
+			return
+		}
+		l.probeSocket(sockets[k][0], func() { next(k + 1) })
+	}
+	next(0)
+}
+
+// probeSocket runs the reference working set on one vCPU of the domain for
+// the probe window and derives the share from achieved speed.
+func (l *Vllc) probeSocket(vcpuID int, done func()) {
+	s := l.s
+	v := s.vm.VCPU(vcpuID)
+	var cycles float64
+	chunk := s.params.NominalSpeed * float64(500*sim.Microsecond)
+	finished := false
+	counted := false
+	tk := s.vm.Spawn(
+		fmt.Sprintf("vllc/%d", vcpuID),
+		func(sim.Time) guest.Segment {
+			if counted {
+				cycles += chunk
+				counted = false
+			}
+			if finished {
+				return guest.Exit()
+			}
+			counted = true
+			return guest.Compute(chunk)
+		},
+		guest.WithAffinity(vcpuID),
+		guest.WithFootprint(l.refMB),
+	)
+	run0 := tk.TotalRun()
+	s.eng.After(l.window, func() {
+		finished = true
+		runD := tk.TotalRun() - run0
+		if runD > sim.Duration(l.window/10) {
+			achieved := cycles / float64(runD) // cycles per ns with footprint
+			// Nominal cache-cold speed for this vCPU from vcap's heavy
+			// calibration (1024 == NominalSpeed).
+			nominal := s.params.NominalSpeed
+			if s.features.Vcap {
+				nominal = s.params.NominalSpeed * float64(s.vcap.per[vcpuID].coreSpeedScale) / 1024
+			}
+			if nominal > 0 {
+				share := achieved / nominal
+				if share > 1 {
+					share = 1
+				}
+				g := s.vm.Topology().SocketOf[v.ID()]
+				l.shares[g] = share
+			}
+		}
+		done()
+	})
+}

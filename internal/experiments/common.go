@@ -1,0 +1,323 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment builds its scenario from the substrate
+// packages, runs it in virtual time, and reports the same rows or series the
+// paper does. Absolute numbers differ from the paper's testbed; the shapes
+// (who wins, by roughly what factor, where crossovers fall) are the
+// reproduction target and are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vsched/internal/cachemodel"
+	"vsched/internal/core"
+	"vsched/internal/guest"
+	"vsched/internal/host"
+	"vsched/internal/sim"
+	"vsched/internal/workload"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Seed drives all randomness; a given (experiment, seed, scale) triple
+	// is fully reproducible.
+	Seed int64
+	// Scale shrinks (<1) or stretches (>1) measurement windows. Benchmarks
+	// use small scales; 1.0 reproduces the defaults.
+	Scale float64
+	// Verbose adds per-phase notes to reports.
+	Verbose bool
+}
+
+// DefaultOptions returns full-length deterministic options.
+func DefaultOptions() Options { return Options{Seed: 42, Scale: 1.0} }
+
+func (o Options) scaled(d sim.Duration) sim.Duration {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := sim.Duration(float64(d) * s)
+	if v < sim.Millisecond {
+		v = sim.Millisecond
+	}
+	return v
+}
+
+// warm scales a warmup duration but never below the probers' learning time:
+// vcap publishes its first sample after ~1.1s and EMA stabilises within a
+// few periods, regardless of how short the measurement windows are scaled.
+func (o Options) warm(d sim.Duration) sim.Duration {
+	v := o.scaled(d)
+	if floor := 4 * sim.Second; v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Report is one table/figure regenerated as rows.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (r *Report) Add(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Cell returns the cell at (row, col) — test helper.
+func (r *Report) Cell(row, col int) string { return r.Rows[row][col] }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			w := 8
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner regenerates one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) *Report
+}
+
+// Registry lists all experiments in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"fig2", "Extended runqueue latency vs vCPU latency", Fig2},
+		{"fig3", "Stalled running task and proactive migration", Fig3},
+		{"fig4", "Deficient work conservation (straggler / stacking)", Fig4},
+		{"fig10a", "EMA capacity tracking", Fig10a},
+		{"fig10b", "Probed cache-line transfer latency matrix", Fig10b},
+		{"table2", "vtop probing time", Table2},
+		{"fig11", "Capacity-aware scheduling with vcap", Fig11},
+		{"fig12", "SMT-aware scheduling with vtop", Fig12},
+		{"fig13", "LLC-aware optimisation with vtop", Fig13},
+		{"fig14", "Latency reduction with bvs", Fig14},
+		{"table3", "Masstree p95 latency breakdown", Table3},
+		{"fig15", "Throughput improvement with ivh", Fig15},
+		{"table4", "Canneal: activity-aware vs unaware ivh", Table4},
+		{"fig16", "Adaptability to vCPU changes", Fig16},
+		{"fig17", "Multi-tenant QoS", Fig17},
+		{"fig18", "Overall improvement on rcvm", Fig18},
+		{"fig19", "Overall improvement on hpvm", Fig19},
+		{"fig20", "Cost of vSched", Fig20},
+		{"fig21", "Overhead when abstraction is already accurate", Fig21},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// --- scenario plumbing ---
+
+// Config names the three scheduler configurations compared throughout §5.
+type Config int
+
+const (
+	// CFS is the stock guest scheduler with the default vCPU abstraction.
+	CFS Config = iota
+	// Enhanced is CFS with vProbers feeding it plus rwc ("enhanced CFS").
+	Enhanced
+	// VSched is the full system (enhanced + bvs + ivh).
+	VSched
+)
+
+func (c Config) String() string {
+	switch c {
+	case CFS:
+		return "CFS"
+	case Enhanced:
+		return "Enhanced CFS"
+	case VSched:
+		return "vSched"
+	}
+	return "?"
+}
+
+// cluster is a host under construction.
+type cluster struct {
+	eng *sim.Engine
+	h   *host.Host
+}
+
+// newCluster builds a host; nominal speed 2.0 cycles/ns, SMT and turbo on.
+func newCluster(seed int64, sockets, cores, threadsPer int) *cluster {
+	eng := sim.NewEngine(seed)
+	cfg := host.DefaultConfig()
+	cfg.Sockets = sockets
+	cfg.CoresPerSocket = cores
+	cfg.ThreadsPerCore = threadsPer
+	return &cluster{eng: eng, h: host.New(eng, cfg)}
+}
+
+// newFlatCluster builds a host without SMT/turbo speed effects — used by
+// controlled experiments that need exact capacity arithmetic.
+func newFlatCluster(seed int64, sockets, cores, threadsPer int) *cluster {
+	eng := sim.NewEngine(seed)
+	cfg := host.DefaultConfig()
+	cfg.Sockets = sockets
+	cfg.CoresPerSocket = cores
+	cfg.ThreadsPerCore = threadsPer
+	cfg.SMTFactor = 1.0
+	cfg.TurboFactor = 1.0
+	return &cluster{eng: eng, h: host.New(eng, cfg)}
+}
+
+func (c *cluster) threads(idx ...int) []*host.Thread {
+	out := make([]*host.Thread, len(idx))
+	for i, id := range idx {
+		out[i] = c.h.Thread(id)
+	}
+	return out
+}
+
+func (c *cluster) firstThreads(n int) []*host.Thread {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return c.threads(idx...)
+}
+
+// deployment is a VM with an optional vSched instance.
+type deployment struct {
+	vm *guest.VM
+	vs *core.VSched
+}
+
+// deploy builds and starts a VM on the given threads under a configuration.
+func deploy(c *cluster, name string, threads []*host.Thread, cfg Config) *deployment {
+	vm := guest.NewVM(c.h, name, threads, guest.DefaultParams())
+	vm.Start()
+	d := &deployment{vm: vm}
+	if cfg != CFS {
+		feats := core.EnhancedCFS()
+		if cfg == VSched {
+			feats = core.AllFeatures()
+		}
+		p := core.DefaultParams()
+		p.NominalSpeed = c.h.Config().BaseSpeed
+		d.vs = core.New(vm, feats, p, cachemodel.Default())
+		d.vs.Start()
+	}
+	return d
+}
+
+// deployFeatures builds a VM with an explicit feature set (for experiments
+// isolating single probers/techniques).
+func deployFeatures(c *cluster, name string, threads []*host.Thread, feats core.Features) *deployment {
+	vm := guest.NewVM(c.h, name, threads, guest.DefaultParams())
+	vm.Start()
+	p := core.DefaultParams()
+	p.NominalSpeed = c.h.Config().BaseSpeed
+	d := &deployment{vm: vm}
+	if feats != (core.Features{}) {
+		d.vs = core.New(vm, feats, p, cachemodel.Default())
+		d.vs.Start()
+	}
+	return d
+}
+
+// env returns the workload environment for this deployment.
+func (d *deployment) env(threadsOverride int) workload.Env {
+	e := workload.Env{
+		VM:      d.vm,
+		Threads: threadsOverride,
+		Nominal: d.vm.Host().Config().BaseSpeed,
+	}
+	if d.vs != nil {
+		e.Group = d.vs.UserGroup()
+		e.BEGroup = d.vs.BEGroup()
+	}
+	return e
+}
+
+// dutyContender puts a square-wave co-tenant on a thread: inactive `on`
+// every `on+off` for the entity sharing it.
+func dutyContender(c *cluster, t *host.Thread, on, off, phase sim.Duration) *host.PatternContender {
+	return host.NewPatternContender(c.h, "tenant", t, on, off, phase)
+}
+
+// halfDuty configures a thread so a vCPU there gets ~50% in bursts of
+// `burst`, with per-thread phase stagger.
+func halfDuty(c *cluster, t *host.Thread, burst sim.Duration, i int) *host.PatternContender {
+	phase := sim.Duration(i) * burst / 2
+	return dutyContender(c, t, burst, burst, phase)
+}
+
+// spawnBestEffort puts a SCHED_IDLE CPU hog on every vCPU (the best-effort
+// background harvesting load used by Figs. 2 and 14).
+func spawnBestEffort(d *deployment) {
+	for i := 0; i < d.vm.NumVCPUs(); i++ {
+		opts := []guest.TaskOpt{guest.WithIdlePolicy(), guest.StartOn(i)}
+		if d.vs != nil {
+			opts = append(opts, guest.WithGroup(d.vs.BEGroup()))
+		}
+		d.vm.Spawn(fmt.Sprintf("be%d", i), func(sim.Time) guest.Segment {
+			return guest.Compute(2e6) // 1ms chunks at nominal speed
+		}, opts...)
+	}
+}
+
+// measureOps runs inst for warmup+window and returns ops completed within
+// the window.
+func measureOps(c *cluster, inst workload.Instance, warmup, window sim.Duration) uint64 {
+	inst.Start()
+	c.eng.RunFor(warmup)
+	before := inst.Ops()
+	c.eng.RunFor(window)
+	return inst.Ops() - before
+}
+
+// pct formats v as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// msStr formats nanoseconds as milliseconds.
+func msStr(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"vsched/internal/guest"
+	"vsched/internal/host"
+	"vsched/internal/sim"
+	"vsched/internal/workload"
+)
+
+// Fig2 reproduces the extended-runqueue-latency experiment (§2.3): p95 tail
+// latency of latency-sensitive services as the vCPU latency grows from 2 to
+// 16 ms at constant 50% capacity, with and without best-effort tasks.
+func Fig2(opt Options) *Report {
+	rep := &Report{
+		ID:     "fig2",
+		Title:  "p95 latency vs vCPU latency (normalized to 16ms; lower is better)",
+		Header: []string{"bench", "best-effort", "vCPU-lat", "p95(ms)", "normalized"},
+	}
+	benches := []string{"img-dnn", "silo", "specjbb"}
+	lats := []sim.Duration{2 * sim.Millisecond, 4 * sim.Millisecond, 8 * sim.Millisecond, 16 * sim.Millisecond}
+	warm := opt.scaled(2 * sim.Second)
+	window := opt.scaled(10 * sim.Second)
+
+	for _, withBE := range []bool{false, true} {
+		for _, bench := range benches {
+			p95 := map[sim.Duration]int64{}
+			for _, L := range lats {
+				c := newFlatCluster(opt.Seed, 2, 16, 1)
+				d := deploy(c, "vm", c.firstThreads(32), CFS)
+				// Per the paper's method: a CFS co-tenant stresses every
+				// core while the host scheduling granularities are tuned to
+				// L, so each vCPU keeps its 50% share but waits up to L to
+				// get (back) on CPU.
+				for i := 0; i < 32; i++ {
+					th := c.h.Thread(i)
+					th.SetGranularities(L, 2*L)
+					host.NewStressor(c.h, "tenant", th, host.DefaultWeight)
+				}
+				if withBE {
+					spawnBestEffort(d)
+				}
+				spec, _ := workload.ByName(bench)
+				srv := spec.New(d.env(0)).(*workload.Server)
+				srv.Start()
+				c.eng.RunFor(warm)
+				srv.ResetStats()
+				c.eng.RunFor(window)
+				p95[L] = srv.E2E().P95()
+			}
+			ref := p95[16*sim.Millisecond]
+			for _, L := range lats {
+				norm := float64(p95[L]) / float64(ref)
+				beTag := "without"
+				if withBE {
+					beTag = "with"
+				}
+				rep.Add(bench, beTag, L.String(), msStr(p95[L]), pct(norm))
+			}
+		}
+	}
+	return rep
+}
+
+// Fig3 reproduces the stalled-running-task demonstration (§2.3): a single
+// CPU-bound thread on a 4-vCPU VM whose vCPUs are inactive 5ms of every
+// 10ms. Default CFS leaves it stalled half the time; proactive
+// self-migration harvests the other vCPUs' active periods.
+func Fig3(opt Options) *Report {
+	rep := &Report{
+		ID:     "fig3",
+		Title:  "Proactive migration prevents the stalled running task",
+		Header: []string{"mode", "progress", "vCPU-util", "timeline (60ms, # running . stalled)"},
+	}
+	window := opt.scaled(2 * sim.Second)
+
+	run := func(migrate bool) (float64, string) {
+		c := newFlatCluster(opt.Seed, 1, 4, 1)
+		d := deploy(c, "vm", c.firstThreads(4), CFS)
+		for i := 0; i < 4; i++ {
+			halfDuty(c, c.h.Thread(i), 5*sim.Millisecond, i)
+		}
+		var tk *guest.Task
+		if !migrate {
+			tk = d.vm.Spawn("worker", func(sim.Time) guest.Segment {
+				return guest.ComputeForever()
+			}, guest.StartOn(0))
+		} else {
+			// Migration mode: hop to the vCPU with the longest remaining
+			// active window every ~4ms of progress (the paper's
+			// self-migrating thread knows the host pattern).
+			best := func(now sim.Time) int {
+				period := sim.Time(10 * sim.Millisecond)
+				b, left := 0, sim.Time(-1)
+				for i := 0; i < 4; i++ {
+					phase := sim.Time(i) * sim.Time(2500*sim.Microsecond)
+					pos := (now - phase) % period
+					if pos < 0 {
+						pos += period
+					}
+					if pos >= sim.Time(5*sim.Millisecond) {
+						if l := period - pos; l > left {
+							b, left = i, l
+						}
+					}
+				}
+				return b
+			}
+			step := 0
+			tk = d.vm.Spawn("worker", func(now sim.Time) guest.Segment {
+				step++
+				if step%2 == 1 {
+					return guest.Compute(4e6) // ~2ms at nominal 2c/ns
+				}
+				return guest.MigrateTo(best(now))
+			}, guest.StartOn(0))
+		}
+		// Task-centric timeline: sample once per millisecond whether the
+		// thread is really executing ('#'), stalled on an inactive vCPU
+		// ('.'), or waiting on a runqueue (' ').
+		var strip []byte
+		stripFrom := sim.Time(window / 2)
+		var sample func()
+		sample = func() {
+			if len(strip) < 60 {
+				now := c.eng.Now()
+				if now >= stripFrom {
+					switch {
+					case tk.State() == guest.TaskRunning && tk.CPU().Entity().State() == host.Running:
+						strip = append(strip, '#')
+					case tk.State() == guest.TaskRunning:
+						strip = append(strip, '.')
+					default:
+						strip = append(strip, ' ')
+					}
+				}
+				c.eng.After(sim.Millisecond, sample)
+			}
+		}
+		c.eng.After(0, sample)
+		c.eng.RunFor(window)
+		frac := float64(tk.TotalRun()) / float64(window)
+		return frac, string(strip)
+	}
+
+	fracDef, stripDef := run(false)
+	fracMig, stripMig := run(true)
+	rep.Add("default", pct(fracDef), pct(fracDef), stripDef)
+	rep.Add("migration", pct(fracMig), pct(fracMig), stripMig)
+	rep.Notef("utilization ratio migration/default = %.2fx (paper: ~2x)", fracMig/fracDef)
+	return rep
+}
+
+// Fig4 reproduces the deficient-work-conservation experiments (§2.3):
+// keeping problematic idle vCPUs (a straggler, stacked vCPUs, and vCPUs
+// stacked against best-effort work) out of task placement beats strict work
+// conservation.
+func Fig4(opt Options) *Report {
+	rep := &Report{
+		ID:     "fig4",
+		Title:  "Work-conserving vs non-work-conserving (NWC=100; higher is better)",
+		Header: []string{"scenario", "bench", "WC", "NWC"},
+	}
+	benches := []string{"canneal", "dedup", "streamcluster"}
+	warm := opt.scaled(1 * sim.Second)
+	window := opt.scaled(8 * sim.Second)
+
+	runStraggler := func(bench string, nwc bool) uint64 {
+		c := newFlatCluster(opt.Seed, 1, 16, 1)
+		d := deploy(c, "vm", c.firstThreads(16), CFS)
+		// One vCPU with ~5% capacity: a high-priority host task hogs core 15.
+		catStraggler.apply(c, c.h.Thread(15), 0)
+		g := d.vm.NewGroup("bench")
+		if nwc {
+			mask := make([]bool, 16)
+			for i := 0; i < 15; i++ {
+				mask[i] = true
+			}
+			d.vm.SetGroupMask(g, mask)
+		}
+		env := d.env(16)
+		env.Group = g
+		spec, _ := workload.ByName(bench)
+		return measureOps(c, spec.New(env), warm, window)
+	}
+
+	// 16 vCPUs stacked in pairs on 8 cores: vCPUs 2i and 2i+1 share core i.
+	stackedDeploy := func(c *cluster) *deployment {
+		var threads []*host.Thread
+		for i := 0; i < 8; i++ {
+			th := c.h.Thread(i)
+			threads = append(threads, th, th)
+		}
+		return deploy(c, "vm", threads, CFS)
+	}
+
+	runStacked := func(bench string, nwc bool) uint64 {
+		c := newFlatCluster(opt.Seed, 1, 8, 1)
+		d := stackedDeploy(c)
+		g := d.vm.NewGroup("bench")
+		if nwc {
+			// Hide one vCPU of each stacking pair.
+			mask := make([]bool, 16)
+			for i := 0; i < 16; i += 2 {
+				mask[i] = true
+			}
+			d.vm.SetGroupMask(g, mask)
+		}
+		env := d.env(16)
+		env.Group = g
+		spec, _ := workload.ByName(bench)
+		return measureOps(c, spec.New(env), warm, window)
+	}
+
+	runPrioInv := func(bench string, nwc bool) uint64 {
+		c := newFlatCluster(opt.Seed, 1, 8, 1)
+		d := stackedDeploy(c)
+		// A best-effort workload occupies one vCPU of each stacking pair
+		// (the odd ones).
+		for i := 1; i < 16; i += 2 {
+			d.vm.Spawn(fmt.Sprintf("be%d", i), func(sim.Time) guest.Segment {
+				return guest.Compute(2e6)
+			}, guest.WithIdlePolicy(), guest.WithAffinity(i))
+		}
+		g := d.vm.NewGroup("bench")
+		if nwc {
+			// Exclude the vCPUs NOT running the best-effort workload: the
+			// benchmark shares vCPUs with sched_idle tasks (which yield
+			// inside the guest) instead of stacking against them on the
+			// host, where the hypervisor cannot see priorities.
+			mask := make([]bool, 16)
+			for i := 1; i < 16; i += 2 {
+				mask[i] = true
+			}
+			d.vm.SetGroupMask(g, mask)
+		}
+		env := d.env(8)
+		env.Group = g
+		spec, _ := workload.ByName(bench)
+		return measureOps(c, spec.New(env), warm, window)
+	}
+
+	for _, b := range benches {
+		wc := runStraggler(b, false)
+		nwcOps := runStraggler(b, true)
+		rep.Add("straggler", b, pct(float64(wc)/float64(nwcOps)), "100%")
+	}
+	for _, b := range benches {
+		wc := runStacked(b, false)
+		nwcOps := runStacked(b, true)
+		rep.Add("stacking", b, pct(float64(wc)/float64(nwcOps)), "100%")
+	}
+	for _, b := range benches {
+		wc := runPrioInv(b, false)
+		nwcOps := runPrioInv(b, true)
+		rep.Add("stacking+prio-inv", b, pct(float64(wc)/float64(nwcOps)), "100%")
+		if ratio := float64(nwcOps) / math.Max(1, float64(wc)); opt.Verbose {
+			rep.Notef("%s priority-inversion NWC/WC = %.1fx", b, ratio)
+		}
+	}
+	return rep
+}

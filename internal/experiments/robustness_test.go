@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vsched/internal/sim"
+	"vsched/internal/workload"
+)
+
+// The paper's conclusions must not hinge on one lucky seed. This suite runs
+// the cheap experiments across several seeds at reduced scale and asserts
+// the *direction* of each result (who wins), not the magnitudes.
+func TestConclusionsHoldAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness suite")
+	}
+	seeds := []int64{7, 42, 1234}
+
+	pct := func(t *testing.T, cell string) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%"), 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return v
+	}
+
+	for _, seed := range seeds {
+		seed := seed
+		opt := Options{Seed: seed, Scale: 0.1}
+
+		t.Run("fig3", func(t *testing.T) {
+			rep := Fig3(opt)
+			def, mig := pct(t, rep.Cell(0, 1)), pct(t, rep.Cell(1, 1))
+			if mig < def*1.5 {
+				t.Fatalf("seed %d: proactive migration should roughly double utilization: %v vs %v",
+					seed, def, mig)
+			}
+		})
+
+		t.Run("fig11", func(t *testing.T) {
+			rep := Fig11(opt)
+			fracCFS := pct(t, rep.Cell(0, 2))
+			fracVcap := pct(t, rep.Cell(1, 2))
+			if fracVcap <= fracCFS {
+				t.Fatalf("seed %d: vcap must increase fast-vCPU share: %v -> %v",
+					seed, fracCFS, fracVcap)
+			}
+		})
+
+		t.Run("fig14", func(t *testing.T) {
+			// Heavy-tailed services need a longer window for stable p95s.
+			rep := Fig14(Options{Seed: seed, Scale: 0.25})
+			var sum float64
+			for _, row := range rep.Rows {
+				sum += pct(t, row[4])
+			}
+			avg := sum / float64(len(rep.Rows))
+			if avg >= 95 {
+				t.Fatalf("seed %d: bvs should cut p95 on average, normalized avg %v%%", seed, avg)
+			}
+		})
+
+		t.Run("fig16", func(t *testing.T) {
+			rep := Fig16(opt)
+			over, err := strconv.ParseFloat(rep.Cell(1, 3), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if over < 1.05 {
+				t.Fatalf("seed %d: vSched must win the overcommitted phase, ratio %v", seed, over)
+			}
+		})
+	}
+}
+
+// TestHPVMLatencyOrdering pins the §5.6 ordering that a mis-anchored bvs
+// latency gate once broke: on hpvm, enhanced CFS already cuts tail latency
+// hugely via the dedicated socket, and full vSched must not give that back
+// (bvs must place at least as well as capacity-aware CFS alone).
+func TestHPVMLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness suite")
+	}
+	run := func(seed int64, cfg Config) int64 {
+		c, d := BuildHPVM(seed, cfg)
+		spec, _ := workload.ByName("silo")
+		srv := spec.New(d.env(d.vm.NumVCPUs())).(*workload.Server)
+		srv.Start()
+		c.eng.RunFor(6 * sim.Second)
+		srv.ResetStats()
+		c.eng.RunFor(8 * sim.Second)
+		return srv.E2E().P95()
+	}
+	for _, seed := range []int64{7, 42} {
+		cfs := run(seed, CFS)
+		enh := run(seed, Enhanced)
+		full := run(seed, VSched)
+		if enh >= cfs/2 {
+			t.Errorf("seed %d: enhanced CFS should cut hpvm p95 sharply: CFS %d vs enhanced %d", seed, cfs, enh)
+		}
+		// Allow a whisker of noise, but vSched must not regress vs enhanced.
+		if float64(full) > float64(enh)*1.15 {
+			t.Errorf("seed %d: vSched p95 %d regressed past enhanced CFS %d", seed, full, enh)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package host
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vsched/internal/sim"
+)
+
+// checkHostInvariants asserts the structural properties of the host
+// scheduler at quiescent points: every entity is in a legal state, a
+// Running entity is the current of exactly its home thread, queues hold
+// only Runnable entities without duplicates, and a thread with queued
+// entities is never left idle.
+func checkHostInvariants(t *testing.T, h *Host) {
+	t.Helper()
+	for i := 0; i < h.NumThreads(); i++ {
+		th := h.Thread(i)
+		seen := map[*Entity]bool{}
+		if cur := th.Current(); cur != nil {
+			if cur.State() != Running {
+				t.Fatalf("thread %d current in state %v", i, cur.State())
+			}
+			if cur.Thread() != th {
+				t.Fatalf("thread %d current homed on %d", i, cur.Thread().ID())
+			}
+			seen[cur] = true
+		}
+		for _, e := range th.queue {
+			if seen[e] {
+				t.Fatalf("entity %s appears twice on thread %d", e.Name(), i)
+			}
+			seen[e] = true
+			if e.State() != Runnable {
+				t.Fatalf("queued entity %s in state %v", e.Name(), e.State())
+			}
+			if e.Thread() != th {
+				t.Fatalf("queued entity %s homed elsewhere", e.Name())
+			}
+		}
+		if th.Current() == nil && len(th.queue) > 0 {
+			t.Fatalf("thread %d idle with %d runnable entities", i, len(th.queue))
+		}
+	}
+}
+
+// TestHostSchedulerStateFuzz drives the host scheduler with random
+// operation sequences (wake, block, migrate, reweight, bandwidth changes)
+// and validates invariants continuously.
+func TestHostSchedulerStateFuzz(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			eng := sim.NewEngine(seed)
+			cfg := DefaultConfig()
+			cfg.Sockets = 1 + rng.Intn(2)
+			cfg.CoresPerSocket = 1 + rng.Intn(3)
+			cfg.ThreadsPerCore = 1 + rng.Intn(2)
+			h := New(eng, cfg)
+			n := h.NumThreads()
+
+			var ents []*Entity
+			for i := 0; i < 2+rng.Intn(8); i++ {
+				e := h.NewEntity(fmt.Sprintf("e%d", i), h.Thread(rng.Intn(n)),
+					256+rng.Int63n(2048), NopClient{})
+				if rng.Intn(4) == 0 {
+					e.SetRT(true)
+				}
+				ents = append(ents, e)
+			}
+
+			for step := 0; step < 400; step++ {
+				e := ents[rng.Intn(len(ents))]
+				switch rng.Intn(6) {
+				case 0:
+					e.Wake()
+				case 1:
+					e.Block()
+				case 2:
+					e.Migrate(h.Thread(rng.Intn(n)))
+				case 3:
+					if !e.IsRT() {
+						e.SetWeight(128 + rng.Int63n(4096))
+					}
+				case 4:
+					e.SetBandwidth(sim.Duration(rng.Intn(80)) * sim.Millisecond)
+				case 5:
+					eng.RunFor(sim.Duration(rng.Intn(10)) * sim.Millisecond)
+				}
+				checkHostInvariants(t, h)
+			}
+			// Steady state: all woken entities still make progress.
+			for _, e := range ents {
+				e.SetBandwidth(0)
+				e.Wake()
+			}
+			before := make([]sim.Duration, len(ents))
+			for i, e := range ents {
+				before[i] = e.RunTime()
+			}
+			eng.RunFor(2 * sim.Second)
+			checkHostInvariants(t, h)
+			progressed := 0
+			for i, e := range ents {
+				if e.RunTime() > before[i] {
+					progressed++
+				}
+			}
+			if progressed == 0 {
+				t.Fatal("no entity progressed after the fuzz sequence")
+			}
+		})
+	}
+}

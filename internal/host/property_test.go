@@ -1,0 +1,148 @@
+package host
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vsched/internal/sim"
+)
+
+// Property: two always-runnable CFS entities on one thread split CPU time
+// in proportion to their weights, for arbitrary weights.
+func TestWeightProportionalSharingProperty(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		w1 := int64(128 + rng.Intn(4096))
+		w2 := int64(128 + rng.Intn(4096))
+		eng := sim.NewEngine(int64(trial))
+		cfg := DefaultConfig()
+		cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 1, 1
+		h := New(eng, cfg)
+		a := NewStressor(h, "a", h.Thread(0), w1)
+		b := NewStressor(h, "b", h.Thread(0), w2)
+		eng.RunFor(10 * sim.Second)
+		want := float64(w1) / float64(w2)
+		got := float64(a.RunTime()) / float64(b.RunTime())
+		if got < want*0.93 || got > want*1.07 {
+			t.Fatalf("trial %d: weights %d:%d want ratio %.3f got %.3f",
+				trial, w1, w2, want, got)
+		}
+	}
+}
+
+// Property: for any contended always-runnable entity, run + steal accounts
+// for the whole wall clock (no time leaks in the host scheduler).
+func TestTimeConservationProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		eng := sim.NewEngine(int64(trial))
+		cfg := DefaultConfig()
+		cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 2, 1
+		h := New(eng, cfg)
+		n := 2 + rng.Intn(4)
+		var ents []*Entity
+		for i := 0; i < n; i++ {
+			ents = append(ents, NewStressor(h, fmt.Sprintf("e%d", i), h.Thread(0), 256+rng.Int63n(2048)))
+		}
+		wall := sim.Duration(2+rng.Intn(6)) * sim.Second
+		eng.RunFor(wall)
+		for i, e := range ents {
+			total := e.RunTime() + e.Steal()
+			if total < wall-sim.Microsecond || total > wall+sim.Microsecond {
+				t.Fatalf("trial %d entity %d: run %v + steal %v != wall %v",
+					trial, i, e.RunTime(), e.Steal(), wall)
+			}
+		}
+		// And the thread is never over-committed: total run time across
+		// entities equals the wall clock.
+		var sumRun sim.Duration
+		for _, e := range ents {
+			sumRun += e.RunTime()
+		}
+		if sumRun < wall-sim.Microsecond || sumRun > wall+sim.Microsecond {
+			t.Fatalf("trial %d: thread time %v != wall %v", trial, sumRun, wall)
+		}
+	}
+}
+
+// Property: a pattern contender's long-run duty cycle matches its on/off
+// configuration regardless of the competing load.
+func TestPatternDutyProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		on := sim.Duration(1+rng.Intn(8)) * sim.Millisecond
+		off := sim.Duration(1+rng.Intn(8)) * sim.Millisecond
+		eng := sim.NewEngine(int64(trial))
+		cfg := DefaultConfig()
+		cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 1, 1
+		h := New(eng, cfg)
+		p := NewPatternContender(h, "p", h.Thread(0), on, off, 0)
+		NewStressor(h, "noise", h.Thread(0), 1024)
+		wall := 10 * sim.Second
+		eng.RunFor(wall)
+		want := float64(on) / float64(on+off)
+		got := float64(p.Entity().RunTime()) / float64(wall)
+		if got < want*0.93 || got > want*1.07 {
+			t.Fatalf("trial %d: duty on=%v off=%v want %.3f got %.3f", trial, on, off, want, got)
+		}
+	}
+}
+
+// Property: bandwidth-capped entities never exceed quota per period.
+func TestBandwidthCapProperty(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		eng := sim.NewEngine(int64(trial))
+		cfg := DefaultConfig()
+		cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 1, 1
+		h := New(eng, cfg)
+		quota := sim.Duration(10+rng.Intn(60)) * sim.Millisecond
+		e := NewStressor(h, "capped", h.Thread(0), DefaultWeight)
+		e.SetBandwidth(quota)
+		periods := 20
+		eng.RunFor(sim.Duration(periods) * cfg.BandwidthPeriod)
+		maxRun := sim.Duration(periods+1) * quota // +1 for the partial period
+		if e.RunTime() > maxRun {
+			t.Fatalf("trial %d: ran %v with quota %v over %d periods", trial, e.RunTime(), quota, periods)
+		}
+		minRun := sim.Duration(periods-1) * quota
+		if e.RunTime() < minRun {
+			t.Fatalf("trial %d: ran only %v, should reach quota %v each period", trial, e.RunTime(), quota)
+		}
+	}
+}
+
+// Property: per-thread granularities control how long a woken entity waits
+// behind an equal-weight hog — monotonic in the granularity.
+func TestGranularityControlsWakeWait(t *testing.T) {
+	wait := func(gran sim.Duration) sim.Duration {
+		eng := sim.NewEngine(1)
+		cfg := DefaultConfig()
+		cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 1, 1
+		h := New(eng, cfg)
+		th := h.Thread(0)
+		th.SetGranularities(gran, 2*gran)
+		NewStressor(h, "hog", th, DefaultWeight)
+		e := h.NewEntity("sleeper", th, DefaultWeight, NopClient{})
+		// Let the hog build history, then measure wake->run delay.
+		eng.RunFor(1 * sim.Second)
+		var total sim.Duration
+		for i := 0; i < 20; i++ {
+			start := eng.Now()
+			e.Wake()
+			for e.State() != Running {
+				eng.RunFor(100 * sim.Microsecond)
+			}
+			total += eng.Now().Sub(start)
+			eng.RunFor(2 * sim.Millisecond) // run a little
+			e.Block()
+			eng.RunFor(20 * sim.Millisecond)
+		}
+		return total / 20
+	}
+	small, large := wait(2*sim.Millisecond), wait(12*sim.Millisecond)
+	if large < 3*small {
+		t.Fatalf("wake wait should scale with granularity: %v vs %v", small, large)
+	}
+}

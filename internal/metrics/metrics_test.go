@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.P95() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean=%v", m)
+	}
+	// p50 of 1..100 is 50; bucket error allowed is ~3.1%.
+	if p := h.P50(); p < 47 || p > 50 {
+		t.Fatalf("p50=%d", p)
+	}
+	if p := h.P95(); p < 91 || p > 95 {
+		t.Fatalf("p95=%d", p)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative samples must clamp to zero")
+	}
+}
+
+func TestHistogramQuantileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHistogram()
+	var samples []int64
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6)
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := ExactQuantile(samples, q)
+		est := h.Quantile(q)
+		if exact == 0 {
+			continue
+		}
+		rel := math.Abs(float64(est-exact)) / float64(exact)
+		if rel > 0.05 {
+			t.Fatalf("q=%v exact=%d est=%d rel=%v", q, exact, est, rel)
+		}
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 100; i++ {
+		a.Observe(i)
+		b.Observe(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count=%d", a.Count())
+	}
+	if a.Max() != 1099 || a.Min() != 0 {
+		t.Fatalf("merged min/max wrong: %d %d", a.Min(), a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: bucketLow(bucketIndex(v)) <= v and the relative error of the
+// bucket lower bound is within 1/subBuckets for large v.
+func TestBucketProperty(t *testing.T) {
+	prop := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		i := bucketIndex(v)
+		lo := bucketLow(i)
+		if lo > v {
+			return false
+		}
+		if v >= subBuckets {
+			rel := float64(v-lo) / float64(v)
+			if rel > 2.0/subBuckets {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(vals []uint32) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(int64(v))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter=%d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Stddev() != 0 {
+		t.Fatal("empty welford must be zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Fatalf("mean=%v", w.Mean())
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(w.Stddev()-2.13809) > 1e-3 {
+		t.Fatalf("stddev=%v", w.Stddev())
+	}
+	if w.N() != 8 {
+		t.Fatalf("n=%d", w.N())
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := &TimeSeries{Name: "tput"}
+	for i := 0; i < 10; i++ {
+		ts.Append(float64(i), float64(i*10))
+	}
+	if m := ts.Mean(); math.Abs(m-45) > 1e-9 {
+		t.Fatalf("mean=%v", m)
+	}
+	if m := ts.MeanBetween(2, 4); math.Abs(m-25) > 1e-9 {
+		t.Fatalf("meanBetween=%v", m)
+	}
+	if ts.MeanBetween(100, 200) != 0 {
+		t.Fatal("empty window must be 0")
+	}
+	if ts.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 6; i++ {
+		d.Observe(12)
+	}
+	for i := 0; i < 4; i++ {
+		d.Observe(15)
+	}
+	if p := d.Probability(12); math.Abs(p-0.6) > 1e-9 {
+		t.Fatalf("p=%v", p)
+	}
+	if v, c := d.Mode(); v != 12 || c != 6 {
+		t.Fatalf("mode=%d/%d", v, c)
+	}
+	if d.Total() != 10 {
+		t.Fatalf("total=%d", d.Total())
+	}
+	if d.Probability(99) != 0 {
+		t.Fatal("unseen value must have probability 0")
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	if ExactQuantile(nil, 0.5) != 0 {
+		t.Fatal("empty exact quantile must be 0")
+	}
+	s := []int64{5, 1, 9, 3, 7}
+	if ExactQuantile(s, 0) != 1 || ExactQuantile(s, 1) != 9 {
+		t.Fatal("extremes wrong")
+	}
+	if ExactQuantile(s, 0.5) != 5 {
+		t.Fatalf("median=%d", ExactQuantile(s, 0.5))
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatal("ExactQuantile mutated input")
+	}
+}

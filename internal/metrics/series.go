@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n uint64 }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds k to the counter.
+func (c *Counter) Add(k uint64) { c.n += k }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Welford accumulates mean and variance online (Welford's algorithm).
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Stddev returns the sample standard deviation (0 for n < 2).
+func (w *Welford) Stddev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Point is one (time, value) sample of a time series. Time is in seconds of
+// virtual time.
+type Point struct {
+	T float64
+	V float64
+}
+
+// TimeSeries is an append-only sequence of timestamped values, used for the
+// "live throughput" figures (16, 17) and capacity traces (10a).
+type TimeSeries struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a point; timestamps are expected to be non-decreasing.
+func (ts *TimeSeries) Append(t, v float64) {
+	ts.Points = append(ts.Points, Point{T: t, V: v})
+}
+
+// Mean returns the mean of the series' values.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range ts.Points {
+		s += p.V
+	}
+	return s / float64(len(ts.Points))
+}
+
+// MeanBetween returns the mean value of points with t0 <= T < t1.
+func (ts *TimeSeries) MeanBetween(t0, t1 float64) float64 {
+	var s float64
+	var n int
+	for _, p := range ts.Points {
+		if p.T >= t0 && p.T < t1 {
+			s += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+func (ts *TimeSeries) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", ts.Name)
+	for _, p := range ts.Points {
+		fmt.Fprintf(&b, " (%.1f,%.1f)", p.T, p.V)
+	}
+	return b.String()
+}
+
+// Distribution counts occurrences of small integer values (e.g. "number of
+// active cores"), used for Fig. 12(a)-style probability plots.
+type Distribution struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution {
+	return &Distribution{counts: make(map[int]uint64)}
+}
+
+// Observe records one occurrence of value v.
+func (d *Distribution) Observe(v int) {
+	d.counts[v]++
+	d.total++
+}
+
+// Probability returns the fraction of observations equal to v.
+func (d *Distribution) Probability(v int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.counts[v]) / float64(d.total)
+}
+
+// Mode returns the most frequent value (smallest wins ties) and its count.
+func (d *Distribution) Mode() (int, uint64) {
+	bestV, bestC := 0, uint64(0)
+	first := true
+	for v, c := range d.counts {
+		if c > bestC || (c == bestC && (first || v < bestV)) {
+			bestV, bestC = v, c
+			first = false
+		}
+	}
+	return bestV, bestC
+}
+
+// Total returns the number of observations.
+func (d *Distribution) Total() uint64 { return d.total }

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are created through Engine.At or
+// Engine.After and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64 // insertion order, breaks ties deterministically
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// Active reports whether the event is still pending (not fired, not
+// cancelled).
+func (ev *Event) Active() bool { return ev != nil && !ev.canceled && !ev.fired }
+
+// Time returns the virtual time at which the event is (or was) scheduled.
+func (ev *Event) Time() Time { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator: a virtual clock plus an ordered
+// queue of pending events. It is not safe for concurrent use; the entire
+// simulation runs on one goroutine, which is what makes it deterministic.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	seed   int64
+	nfired uint64
+}
+
+// NewEngine returns an engine whose clock reads zero and whose random source
+// is seeded with seed. The same seed always produces the same simulation.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed the engine was created with. Components that need a
+// private random stream — so their draws do not depend on how other
+// components interleave with the shared source — derive one from this.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the total number of events executed so far. Useful for
+// performance reporting in benchmarks.
+func (e *Engine) Fired() uint64 { return e.nfired }
+
+// Pending returns the number of events in the queue (including cancelled
+// ones that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.nfired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the clock would pass `until`, then sets
+// the clock to exactly `until`. Events scheduled at `until` itself are
+// executed.
+func (e *Engine) Run(until Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunFor advances the simulation by d virtual time.
+func (e *Engine) RunFor(d Duration) { e.Run(e.now.Add(d)) }
+
+// Drain runs until the event queue is empty or limit events have fired.
+// It returns the number of events executed.
+func (e *Engine) Drain(limit uint64) uint64 {
+	var n uint64
+	for n < limit && e.Step() {
+		n++
+	}
+	return n
+}

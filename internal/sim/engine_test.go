@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Run should land exactly on until: now=%v", e.Now())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events must fire in insertion order, got %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run(20)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if ev.Active() {
+		t.Fatal("cancelled event reports active")
+	}
+}
+
+func TestEngineCancelDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	var ev2 *Event
+	e.At(10, func() { ev2.Cancel() })
+	ev2 = e.At(11, func() { fired = true })
+	e.Run(20)
+	if fired {
+		t.Fatal("event cancelled by earlier event still fired")
+	}
+}
+
+func TestEngineAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Time
+	e.After(5, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run(100)
+	if len(trace) != 2 || trace[0] != 5 || trace[1] != 10 {
+		t.Fatalf("nested scheduling wrong: %v", trace)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineRunStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.At(10, func() { fired = append(fired, 10) })
+	e.At(20, func() { fired = append(fired, 20) })
+	e.At(30, func() { fired = append(fired, 30) })
+	e.Run(20)
+	if len(fired) != 2 {
+		t.Fatalf("events at exactly `until` must fire; got %v", fired)
+	}
+	e.Run(30)
+	if len(fired) != 3 {
+		t.Fatalf("remaining events must fire on next Run; got %v", fired)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, int64(e.Now()))
+			if len(out) < 50 {
+				e.After(Duration(1+e.Rand().Int63n(1000)), step)
+			}
+		}
+		e.After(1, step)
+		e.Run(1 << 40)
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must give identical schedules: %v vs %v at %d", a[i], b[i], i)
+		}
+	}
+}
+
+// Property: events always fire in non-decreasing time order no matter how
+// they were inserted.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		for _, d := range delays {
+			e.At(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(1 << 20)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariateHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if d := Exp(rng, Millisecond); d < 0 {
+			t.Fatal("Exp returned negative")
+		}
+		if d := Uniform(rng, 10, 20); d < 10 || d >= 20 {
+			t.Fatalf("Uniform out of range: %d", d)
+		}
+		if d := Normal(rng, Millisecond, Millisecond); d < 0 {
+			t.Fatal("Normal returned negative")
+		}
+		if d := Jitter(rng, 100, 0.5); d < 50 || d > 150 {
+			t.Fatalf("Jitter out of range: %d", d)
+		}
+		if d := Pareto(rng, 1.5, 100, 10000); d < 100 || d > 10000 {
+			t.Fatalf("Pareto out of range: %d", d)
+		}
+	}
+	if Exp(rng, 0) != 0 {
+		t.Fatal("Exp with non-positive mean must be 0")
+	}
+	if Uniform(rng, 20, 10) != 20 {
+		t.Fatal("Uniform with hi<=lo must return lo")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500 * Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds: %v", tm.Seconds())
+	}
+	if tm.Add(500*Duration(Millisecond)).Sub(tm) != Duration(500*Millisecond) {
+		t.Fatal("Add/Sub roundtrip failed")
+	}
+	if DurationOfSeconds(0.25) != 250*Millisecond {
+		t.Fatal("DurationOfSeconds")
+	}
+}
+
+func TestEngineAuxiliaries(t *testing.T) {
+	e := NewEngine(1)
+	if e.Pending() != 0 || e.Fired() != 0 {
+		t.Fatal("fresh engine must be empty")
+	}
+	ev := e.At(10, func() {})
+	e.At(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending=%d", e.Pending())
+	}
+	if ev.Time() != 10 {
+		t.Fatalf("event time=%v", ev.Time())
+	}
+	e.RunFor(15)
+	if e.Fired() != 1 || e.Now() != 15 {
+		t.Fatalf("fired=%d now=%v", e.Fired(), e.Now())
+	}
+	if n := e.Drain(10); n != 1 {
+		t.Fatalf("drain=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue must return false")
+	}
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+	if nilEv.Active() {
+		t.Fatal("nil event is not active")
+	}
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestDrainLimit(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() { count++ })
+	}
+	if n := e.Drain(4); n != 4 || count != 4 {
+		t.Fatalf("drain=%d count=%d", n, count)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if s := Time(1500 * Millisecond).String(); s != "1.500000s" {
+		t.Fatalf("time string %q", s)
+	}
+	if s := (2500 * Microsecond).String(); s != "2.500ms" {
+		t.Fatalf("duration string %q", s)
+	}
+	if Time(3*Millisecond).Milliseconds() != 3 {
+		t.Fatal("time ms")
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Fatal("duration seconds")
+	}
+	if (2 * Millisecond).Milliseconds() != 2 {
+		t.Fatal("duration ms")
+	}
+}
+
+func TestVariateEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if Jitter(rng, 100, 0) != 100 {
+		t.Fatal("zero jitter must return base")
+	}
+	if Pareto(rng, 0, 100, 1000) != 100 {
+		t.Fatal("degenerate pareto must return min")
+	}
+	if Pareto(rng, 2, 0, 1000) != 0 {
+		t.Fatal("non-positive min must return min")
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// FuzzEngineSchedule inserts arbitrary event schedules (with cancellations)
+// and checks ordering and conservation.
+func FuzzEngineSchedule(f *testing.F) {
+	f.Add([]byte{10, 3, 200, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewEngine(1)
+		var fired []Time
+		var cancel []*Event
+		total := 0
+		for i, b := range data {
+			ev := e.At(Time(b)*16, func() { fired = append(fired, e.Now()) })
+			if i%3 == 2 {
+				cancel = append(cancel, ev)
+			} else {
+				total++
+			}
+		}
+		for _, ev := range cancel {
+			ev.Cancel()
+		}
+		e.Run(1 << 20)
+		if len(fired) != total {
+			t.Fatalf("fired %d, want %d", len(fired), total)
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				t.Fatal("out of order")
+			}
+		}
+	})
+}

@@ -1,0 +1,103 @@
+// Package trace records entity state timelines (the KernelShark-style view
+// used by Fig. 3) and renders them as ASCII strips.
+package trace
+
+import (
+	"strings"
+
+	"vsched/internal/host"
+	"vsched/internal/sim"
+)
+
+// Transition is one scheduling state change of an entity.
+type Transition struct {
+	At       sim.Time
+	From, To host.EntityState
+}
+
+// Timeline is the recorded state history of one entity.
+type Timeline struct {
+	Name    string
+	Initial host.EntityState
+	Events  []Transition
+}
+
+// Attach starts recording an entity's transitions. It must be called before
+// the entity's first transition of interest; recording lasts for the
+// entity's lifetime.
+func Attach(e *host.Entity) *Timeline {
+	tl := &Timeline{Name: e.Name(), Initial: e.State()}
+	e.Observer = func(now sim.Time, from, to host.EntityState) {
+		tl.Events = append(tl.Events, Transition{At: now, From: from, To: to})
+	}
+	return tl
+}
+
+// stateAt returns the entity state at time t.
+func (tl *Timeline) stateAt(t sim.Time) host.EntityState {
+	st := tl.Initial
+	for _, ev := range tl.Events {
+		if ev.At > t {
+			break
+		}
+		st = ev.To
+	}
+	return st
+}
+
+// TimeIn integrates how long the entity spent in state s within [from, to).
+func (tl *Timeline) TimeIn(s host.EntityState, from, to sim.Time) sim.Duration {
+	var total sim.Duration
+	cur := tl.Initial
+	mark := from
+	for _, ev := range tl.Events {
+		if ev.At <= from {
+			cur = ev.To
+			continue
+		}
+		if ev.At >= to {
+			break
+		}
+		if cur == s {
+			total += ev.At.Sub(mark)
+		}
+		mark = ev.At
+		cur = ev.To
+	}
+	if cur == s && to > mark {
+		total += to.Sub(mark)
+	}
+	return total
+}
+
+// RunningFraction returns the share of [from,to) the entity spent Running.
+func (tl *Timeline) RunningFraction(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(tl.TimeIn(host.Running, from, to)) / float64(to.Sub(from))
+}
+
+// Render draws the timeline as a width-character strip over [from, to):
+// '#' Running, '.' Runnable (preempted), 't' Throttled, ' ' Blocked.
+func (tl *Timeline) Render(width int, from, to sim.Time) string {
+	if width <= 0 || to <= from {
+		return ""
+	}
+	var b strings.Builder
+	span := to.Sub(from)
+	for i := 0; i < width; i++ {
+		t := from.Add(sim.Duration(int64(span) * int64(i) / int64(width)))
+		switch tl.stateAt(t) {
+		case host.Running:
+			b.WriteByte('#')
+		case host.Runnable:
+			b.WriteByte('.')
+		case host.Throttled:
+			b.WriteByte('t')
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}

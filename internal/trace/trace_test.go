@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"vsched/internal/host"
+	"vsched/internal/sim"
+)
+
+func TestTimelineRecordsAndIntegrates(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := host.DefaultConfig()
+	cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 2, 1
+	h := host.New(eng, cfg)
+	e := h.NewEntity("v", h.Thread(0), host.DefaultWeight, host.NopClient{})
+	tl := Attach(e)
+	e.Wake()
+	host.NewPatternContender(h, "p", h.Thread(0), 5*sim.Millisecond, 5*sim.Millisecond, 0)
+	eng.RunFor(100 * sim.Millisecond)
+
+	if len(tl.Events) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	frac := tl.RunningFraction(0, sim.Time(100*sim.Millisecond))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("running fraction=%v want ~0.5", frac)
+	}
+	run := tl.TimeIn(host.Running, 0, sim.Time(100*sim.Millisecond))
+	wait := tl.TimeIn(host.Runnable, 0, sim.Time(100*sim.Millisecond))
+	if run+wait < 99*sim.Millisecond {
+		t.Fatalf("run+wait=%v want ~100ms", run+wait)
+	}
+
+	strip := tl.Render(50, 0, sim.Time(100*sim.Millisecond))
+	if len(strip) != 50 {
+		t.Fatalf("strip len=%d", len(strip))
+	}
+	if !strings.Contains(strip, "#") || !strings.Contains(strip, ".") {
+		t.Fatalf("strip should show both running and waiting: %q", strip)
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	tl := &Timeline{Initial: host.Blocked}
+	if tl.Render(0, 0, 10) != "" {
+		t.Fatal("zero width must render empty")
+	}
+	if tl.Render(10, 10, 10) != "" {
+		t.Fatal("empty interval must render empty")
+	}
+	if got := tl.Render(4, 0, 100); got != "    " {
+		t.Fatalf("blocked strip wrong: %q", got)
+	}
+	if tl.RunningFraction(10, 10) != 0 {
+		t.Fatal("degenerate fraction must be 0")
+	}
+}

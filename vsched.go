@@ -1,0 +1,296 @@
+// Package vsched is a from-scratch reproduction of "Optimizing Task
+// Scheduling in Cloud VMs with Accurate vCPU Abstraction" (EuroSys '25): a
+// deterministic simulation of the whole virtualized stack — physical host,
+// KVM-like hypervisor scheduler, Linux-CFS-like guest scheduler — with the
+// paper's vSched system (the vProbers vcap/vact/vtop and the techniques
+// bvs/ivh/rwc) implemented on top, plus the paper's workload suite and an
+// experiment harness that regenerates every table and figure of its
+// evaluation.
+//
+// The root package is a facade: it wires the internal packages together for
+// the common cases. Typical use:
+//
+//	cl := vsched.NewCluster(vsched.ClusterConfig{Sockets: 1, CoresPerSocket: 8})
+//	vm := cl.NewVM("guest", []int{0, 1, 2, 3})
+//	sched := cl.EnableVSched(vm, vsched.AllFeatures())
+//	cl.AddStressor(1, vsched.DefaultWeight) // a noisy co-tenant on core 1
+//	srv := cl.Workload(vm, sched, "nginx", 4)
+//	srv.Start()
+//	cl.RunFor(10 * vsched.Second)
+//	fmt.Println(srv.Ops())
+//
+// For the paper's experiments, use RunExperiment or the cmd/experiments
+// binary; for custom scenarios, cmd/vschedsim.
+package vsched
+
+import (
+	"fmt"
+
+	"vsched/internal/cachemodel"
+	"vsched/internal/core"
+	"vsched/internal/experiments"
+	"vsched/internal/guest"
+	"vsched/internal/host"
+	"vsched/internal/sim"
+	"vsched/internal/workload"
+)
+
+// Re-exported core types. The aliases give downstream users the full APIs of
+// the underlying packages through the public module path.
+type (
+	// Engine is the discrete-event simulation engine.
+	Engine = sim.Engine
+	// Time is an absolute virtual timestamp (ns).
+	Time = sim.Time
+	// Duration is a span of virtual time (ns).
+	Duration = sim.Duration
+	// Host is the physical machine plus hypervisor scheduler.
+	Host = host.Host
+	// HostConfig describes the physical machine.
+	HostConfig = host.Config
+	// Thread is one hardware thread.
+	Thread = host.Thread
+	// Entity is anything the hypervisor schedules (vCPU or contender).
+	Entity = host.Entity
+	// VM is a guest virtual machine.
+	VM = guest.VM
+	// VCPU is a virtual CPU inside a VM.
+	VCPU = guest.VCPU
+	// Task is a guest thread.
+	Task = guest.Task
+	// TaskOpt configures a spawned task.
+	TaskOpt = guest.TaskOpt
+	// Behavior is a task program: it returns the next segment each time the
+	// previous one completes.
+	Behavior = guest.Behavior
+	// Segment is one step of a task program.
+	Segment = guest.Segment
+	// GuestParams are the guest scheduler tunables.
+	GuestParams = guest.Params
+	// SchedPolicy selects the guest scheduling policy (CFS or EEVDF).
+	SchedPolicy = guest.SchedPolicy
+	// VSched is the paper's system bound to one VM.
+	VSched = core.VSched
+	// Features selects vSched components.
+	Features = core.Features
+	// Params are the vSched tunables (paper Table 1).
+	Params = core.Params
+	// WorkloadEnv parameterises workload instantiation.
+	WorkloadEnv = workload.Env
+	// WorkloadInstance is a running workload.
+	WorkloadInstance = workload.Instance
+	// Server is the request/response workload (Tailbench/Nginx style).
+	Server = workload.Server
+	// ServerConfig parameterises a custom Server.
+	ServerConfig = workload.ServerConfig
+)
+
+// Re-exported constants and helpers.
+const (
+	// Nanosecond .. Second are virtual-time units.
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	// DefaultWeight is the CFS weight of a nice-0 entity.
+	DefaultWeight = host.DefaultWeight
+)
+
+// PolicyCFS and PolicyEEVDF are the guest scheduling policies.
+const (
+	PolicyCFS   = guest.PolicyCFS
+	PolicyEEVDF = guest.PolicyEEVDF
+)
+
+// DefaultGuestParams returns Linux-like guest scheduler parameters.
+func DefaultGuestParams() GuestParams { return guest.DefaultParams() }
+
+// Task options, re-exported for spawning custom tasks via VM.Spawn.
+var (
+	WithAffinity         = guest.WithAffinity
+	WithFootprint        = guest.WithFootprint
+	WithIdlePolicy       = guest.WithIdlePolicy
+	WithLatencySensitive = guest.WithLatencySensitive
+	WithWeight           = guest.WithWeight
+	StartOn              = guest.StartOn
+)
+
+// Task program segments, re-exported for writing custom behaviors.
+var (
+	ComputeSeg     = guest.Compute
+	ComputeForever = guest.ComputeForever
+	SleepSeg       = guest.Sleep
+	ExitSeg        = guest.Exit
+)
+
+// AllFeatures returns full vSched (probers + bvs + ivh + rwc).
+func AllFeatures() Features { return core.AllFeatures() }
+
+// EnhancedCFS returns the paper's "enhanced CFS" feature set (probers + rwc).
+func EnhancedCFS() Features { return core.EnhancedCFS() }
+
+// DefaultParams returns the paper's Table 1 tunables.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// ClusterConfig describes the simulated physical host.
+type ClusterConfig struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Sockets, CoresPerSocket, ThreadsPerCore define the topology.
+	// Zero values default to 1 socket × 8 cores × 1 thread.
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int
+	// SMT enables SMT contention and turbo effects (realistic speeds);
+	// disabled they stay flat, which is easier to reason about.
+	SMT bool
+}
+
+// Cluster is a simulated host plus its engine.
+type Cluster struct {
+	eng *sim.Engine
+	h   *host.Host
+}
+
+// NewCluster builds a simulated host.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Sockets <= 0 {
+		cfg.Sockets = 1
+	}
+	if cfg.CoresPerSocket <= 0 {
+		cfg.CoresPerSocket = 8
+	}
+	if cfg.ThreadsPerCore <= 0 {
+		cfg.ThreadsPerCore = 1
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	hc := host.DefaultConfig()
+	hc.Sockets = cfg.Sockets
+	hc.CoresPerSocket = cfg.CoresPerSocket
+	hc.ThreadsPerCore = cfg.ThreadsPerCore
+	if !cfg.SMT {
+		hc.SMTFactor = 1.0
+		hc.TurboFactor = 1.0
+	}
+	return &Cluster{eng: eng, h: host.New(eng, hc)}
+}
+
+// Engine returns the simulation engine.
+func (c *Cluster) Engine() *Engine { return c.eng }
+
+// Host returns the physical host model.
+func (c *Cluster) Host() *Host { return c.h }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() Time { return c.eng.Now() }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d Duration) { c.eng.RunFor(d) }
+
+// NewVM creates and starts a VM whose vCPU i is pinned on hardware thread
+// threadIDs[i].
+func (c *Cluster) NewVM(name string, threadIDs []int) *VM {
+	return c.NewVMWithParams(name, threadIDs, guest.DefaultParams())
+}
+
+// NewVMWithParams creates and starts a VM with explicit guest scheduler
+// parameters (e.g. Policy: PolicyEEVDF).
+func (c *Cluster) NewVMWithParams(name string, threadIDs []int, p GuestParams) *VM {
+	threads := make([]*host.Thread, len(threadIDs))
+	for i, id := range threadIDs {
+		threads[i] = c.h.Thread(id)
+	}
+	vm := guest.NewVM(c.h, name, threads, p)
+	vm.Start()
+	return vm
+}
+
+// EnableVSched attaches and starts vSched on a VM with default tunables.
+func (c *Cluster) EnableVSched(vm *VM, feats Features) *VSched {
+	p := core.DefaultParams()
+	p.NominalSpeed = c.h.Config().BaseSpeed
+	return c.EnableVSchedWithParams(vm, feats, p)
+}
+
+// EnableVSchedWithParams attaches and starts vSched with explicit tunables
+// (paper Table 1 values are the defaults; see DefaultParams).
+func (c *Cluster) EnableVSchedWithParams(vm *VM, feats Features, p Params) *VSched {
+	s := core.New(vm, feats, p, cachemodel.Default())
+	s.Start()
+	return s
+}
+
+// AddStressor puts an always-runnable CFS co-tenant with the given weight on
+// hardware thread threadID; the vCPU sharing it gets the complementary fair
+// share.
+func (c *Cluster) AddStressor(threadID int, weight int64) *Entity {
+	return host.NewStressor(c.h, fmt.Sprintf("stressor-%d", threadID), c.h.Thread(threadID), weight)
+}
+
+// AddPatternContender puts a realtime square-wave co-tenant on a thread: the
+// vCPU there is deterministically inactive for `on` every `on+off`.
+func (c *Cluster) AddPatternContender(threadID int, on, off, phase Duration) *host.PatternContender {
+	return host.NewPatternContender(c.h, fmt.Sprintf("pattern-%d", threadID), c.h.Thread(threadID), on, off, phase)
+}
+
+// SetVCPULatency tunes the host scheduler granularities of a thread so the
+// vCPU there keeps its share but waits ~lat to get back on CPU (the paper's
+// sched_min/wakeup_granularity knob).
+func (c *Cluster) SetVCPULatency(threadID int, lat Duration) {
+	c.h.Thread(threadID).SetGranularities(lat, 2*lat)
+}
+
+// Workload instantiates a catalogued benchmark (see WorkloadNames) on a VM.
+// sched may be nil (stock CFS); threads 0 uses the benchmark default.
+func (c *Cluster) Workload(vm *VM, sched *VSched, name string, threads int) WorkloadInstance {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("vsched: unknown workload %q (see vsched.WorkloadNames)", name))
+	}
+	env := workload.Env{VM: vm, Threads: threads, Nominal: c.h.Config().BaseSpeed}
+	if sched != nil {
+		env.Group = sched.UserGroup()
+		env.BEGroup = sched.BEGroup()
+	}
+	return spec.New(env)
+}
+
+// NewServer builds a custom request/response workload on a VM (for loads
+// the catalogue doesn't cover: open vs closed loop, sticky connections,
+// service-time distributions).
+func (c *Cluster) NewServer(vm *VM, sched *VSched, cfg ServerConfig) *Server {
+	env := workload.Env{VM: vm, Nominal: c.h.Config().BaseSpeed}
+	if sched != nil {
+		env.Group = sched.UserGroup()
+		env.BEGroup = sched.BEGroup()
+	}
+	return workload.NewServer(env, cfg)
+}
+
+// WorkloadNames lists the catalogued benchmarks.
+func WorkloadNames() []string { return workload.Names() }
+
+// ExperimentIDs lists the paper experiments RunExperiment accepts.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, r := range experiments.Registry() {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}
+
+// ExperimentOptions configure a RunExperiment call.
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is the regenerated table/figure.
+type ExperimentReport = experiments.Report
+
+// RunExperiment regenerates one of the paper's tables or figures (fig2..21,
+// table2..4) and returns its report. Scale < 1 shrinks measurement windows.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("vsched: unknown experiment %q", id)
+	}
+	return r.Run(opt), nil
+}
