@@ -14,6 +14,7 @@ package vsched_test
 // Full-length reproductions: go run ./cmd/experiments -run all
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -356,6 +357,39 @@ func BenchmarkAblationHeartbeatGranularity(b *testing.B) {
 		measured = run()
 	}
 	b.ReportMetric(measured, "probed-latency-ms(truth=4)")
+}
+
+// benchRegistry runs the complete experiment registry through the harness
+// at a reduced scale with the given worker-pool size.
+func benchRegistry(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := vsched.RunExperiments(vsched.HarnessConfig{
+			BaseSeed: 42,
+			Scale:    benchScale / 2,
+			Workers:  workers,
+		})
+		if res.Failed() > 0 {
+			b.Fatalf("%d trials failed", res.Failed())
+		}
+		b.ReportMetric(float64(res.EventsFired())/res.WallTime.Seconds(), "events/sec")
+	}
+}
+
+// BenchmarkRegistrySerial is the reference path: the whole registry on one
+// worker, exactly the trial order and seeds of the classic serial loop.
+func BenchmarkRegistrySerial(b *testing.B) { benchRegistry(b, 1) }
+
+// BenchmarkRegistryParallel fans the registry out over the worker pool. The
+// output is byte-identical to the serial run (see internal/harness's
+// determinism suite); the wall-clock ratio of these two benchmarks is the
+// harness speedup, bounded by min(cores, total/longest-experiment).
+func BenchmarkRegistryParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	benchRegistry(b, workers)
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed: events per second

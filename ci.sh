@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging.
+#
+#   ./ci.sh         # vet + build + full tests + race pass on concurrent packages
+#   ./ci.sh quick   # same, but -short tests (skips the full-registry suites)
+#
+# The race pass covers the packages that actually run goroutines: the
+# parallel harness and, through it, the experiment/simulator substrate it
+# drives concurrently (every package in the test binary is instrumented).
+set -eu
+
+short=""
+if [ "${1:-}" = "quick" ]; then
+    short="-short"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test $short ./..."
+go test $short ./...
+
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/...
+
+echo "CI OK"

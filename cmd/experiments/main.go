@@ -3,10 +3,18 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -run fig14            # one experiment
-//	experiments -run all              # everything, in paper order
-//	experiments -run fig18 -scale 0.3 # shorter measurement windows
-//	experiments -run all -json        # machine-readable reports
+//	experiments -run fig14                  # one experiment
+//	experiments -run all                    # everything, in paper order
+//	experiments -run fig18 -scale 0.3       # shorter measurement windows
+//	experiments -run all -json              # machine-readable reports
+//	experiments -run all -parallel 8        # fan out over 8 workers
+//	experiments -run all -reps 5            # 5 replicate seeds, mean±stddev cells
+//	experiments -run all -timeout 10m       # per-trial wall-clock budget
+//	experiments -run all -out run.jsonl     # JSON-lines artifact with metadata
+//
+// Reports go to stdout; timing and progress go to stderr, so stdout is a
+// pure function of (-run, -seed, -reps, -scale): a -parallel N run is
+// byte-identical to the serial one.
 package main
 
 import (
@@ -18,16 +26,21 @@ import (
 	"time"
 
 	"vsched/internal/experiments"
+	"vsched/internal/harness"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "", "experiment id (fig2..fig21, table2..table4) or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		scale   = flag.Float64("scale", 1.0, "measurement window scale factor")
-		verbose = flag.Bool("v", false, "verbose notes")
-		asJSON  = flag.Bool("json", false, "emit reports as JSON lines")
+		run      = flag.String("run", "", "experiment id (fig2..fig21, table2..table4), comma list, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids")
+		seed     = flag.Int64("seed", 42, "base simulation seed")
+		scale    = flag.Float64("scale", 1.0, "measurement window scale factor")
+		verbose  = flag.Bool("v", false, "verbose notes")
+		asJSON   = flag.Bool("json", false, "emit reports as JSON lines")
+		parallel = flag.Int("parallel", 1, "worker pool size (1 = serial reference path)")
+		reps     = flag.Int("reps", 1, "replicate seeds per experiment; >1 adds mean±stddev [min,max] cells")
+		timeout  = flag.Duration("timeout", 0, "per-trial wall-clock budget (0 = none)")
+		out      = flag.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
 	)
 	flag.Parse()
 
@@ -42,7 +55,6 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Seed: *seed, Scale: *scale, Verbose: *verbose}
 	var runners []experiments.Runner
 	if strings.EqualFold(*run, "all") {
 		runners = experiments.Registry()
@@ -56,18 +68,55 @@ func main() {
 			runners = append(runners, r)
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	for _, r := range runners {
-		start := time.Now()
-		rep := r.Run(opt)
-		if *asJSON {
-			if err := enc.Encode(rep); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			continue
+
+	res := harness.Run(harness.Config{
+		Runners:  runners,
+		BaseSeed: *seed,
+		Reps:     *reps,
+		Scale:    *scale,
+		Verbose:  *verbose,
+		Workers:  *parallel,
+		Timeout:  *timeout,
+	})
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		fmt.Println(rep.String())
-		fmt.Printf("(%s regenerated in %v wall time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if err := res.WriteArtifact(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, ex := range res.Experiments {
+			for i := range ex.Trials {
+				t := &ex.Trials[i]
+				if !t.OK() {
+					fmt.Fprintf(os.Stderr, "%s rep %d (seed %d): %s\n", t.ExperimentID, t.Replicate, t.Seed, t.Err)
+					continue
+				}
+				if err := enc.Encode(t.Report); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	} else {
+		fmt.Print(res.Text())
+	}
+	fmt.Fprintf(os.Stderr, "(%d trials over %d workers: %d events in %v wall time, %d failed)\n",
+		res.Trials(), res.Workers, res.EventsFired(), res.WallTime.Round(time.Millisecond), res.Failed())
+	if res.Failed() > 0 {
+		os.Exit(1)
 	}
 }

@@ -13,8 +13,8 @@ import (
 // asymmetric latency — the host scheduling granularity on the threads of
 // vCPUs 0..7 is 6ms, on vCPUs 8..15 3ms ("half of vCPUs have 2x lower
 // latency"), with a CFS co-tenant stressing every core.
-func bvsRig(seed int64, feats core.Features) (*cluster, *deployment) {
-	c := newFlatCluster(seed, 1, 16, 1)
+func bvsRig(o Options, feats core.Features) (*cluster, *deployment) {
+	c := newFlatCluster(o, 1, 16, 1)
 	for i := 0; i < 16; i++ {
 		gran := 6 * sim.Millisecond
 		if i >= 8 {
@@ -47,7 +47,7 @@ func Fig14(opt Options) *Report {
 		if withBVS {
 			feats.BVS = true
 		}
-		c, d := bvsRig(opt.Seed, feats)
+		c, d := bvsRig(opt, feats)
 		if withBE {
 			spawnBestEffort(d)
 		}
@@ -96,7 +96,7 @@ func Table3(opt Options) *Report {
 		if mode != "no-bvs" {
 			feats.BVS = true
 		}
-		c, d := bvsRig(opt.Seed, feats)
+		c, d := bvsRig(opt, feats)
 		if mode == "bvs-no-state" {
 			d.vs.SetBVSStateCheck(false)
 		}
@@ -130,8 +130,8 @@ func Table3(opt Options) *Report {
 // ivhRig builds the Fig. 15 / Table 4 VM: 16 vCPUs each sharing 50% of a
 // core in 5ms bursts, phases staggered so there is usually an active unused
 // vCPU to harvest.
-func ivhRig(seed int64, feats core.Features) (*cluster, *deployment) {
-	c := newFlatCluster(seed, 1, 16, 1)
+func ivhRig(o Options, feats core.Features) (*cluster, *deployment) {
+	c := newFlatCluster(o, 1, 16, 1)
 	for i := 0; i < 16; i++ {
 		// A CFS co-tenant on every core: each vCPU owns a fair 50% share. A
 		// busy vCPU suffers ~3ms inactive periods (the host slice quantum);
@@ -164,7 +164,7 @@ func Fig15(opt Options) *Report {
 		if withIVH {
 			feats.IVH = true
 		}
-		c, d := ivhRig(opt.Seed, feats)
+		c, d := ivhRig(opt, feats)
 		spec, _ := workload.ByName(bench)
 		return measureOps(c, spec.New(d.env(threads)), warm, window)
 	}
@@ -201,7 +201,7 @@ func Table4(opt Options) *Report {
 
 	run := func(threads int, aware, slowWake bool) (float64, sim.Duration) {
 		feats := core.Features{Vcap: true, Vact: true, IVH: true}
-		c, d := ivhRig(opt.Seed, feats)
+		c, d := ivhRig(opt, feats)
 		if slowWake {
 			// High-wake-latency host (granularities cranked like the
 			// latency experiments): a mis-targeted migration parks the task

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"vsched/internal/cachemodel"
 	"vsched/internal/core"
@@ -28,6 +29,72 @@ type Options struct {
 	Scale float64
 	// Verbose adds per-phase notes to reports.
 	Verbose bool
+	// Stats, when non-nil, observes every engine the run builds so callers
+	// (the harness) can report simulation effort and interrupt a trial that
+	// overran its wall-clock budget. Attaching it does not change results.
+	Stats *Stats
+}
+
+// Stats collects the engines one experiment run builds. The run itself
+// registers engines from its own goroutine; Interrupt and the read accessors
+// may be called from another goroutine, hence the lock.
+type Stats struct {
+	mu          sync.Mutex
+	engines     []*sim.Engine
+	interrupted bool
+}
+
+// Track registers an engine. A nil receiver is a no-op, so call sites do not
+// need to guard. If the run was already interrupted the engine is stopped
+// immediately, so a trial cannot outlive its deadline by building fresh
+// engines.
+func (s *Stats) Track(e *sim.Engine) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engines = append(s.engines, e)
+	if s.interrupted {
+		e.Interrupt()
+	}
+}
+
+// Interrupt freezes every engine tracked so far and every engine tracked
+// later. Safe to call from any goroutine.
+func (s *Stats) Interrupt() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interrupted = true
+	for _, e := range s.engines {
+		e.Interrupt()
+	}
+}
+
+// Engines returns how many engines the run built.
+func (s *Stats) Engines() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.engines)
+}
+
+// EventsFired sums events executed across all tracked engines. Only call
+// after the run's goroutine has finished (or been interrupted and unwound):
+// the per-engine counters themselves are not synchronised.
+func (s *Stats) EventsFired() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, e := range s.engines {
+		total += e.Fired()
+	}
+	return total
 }
 
 // DefaultOptions returns full-length deterministic options.
@@ -185,8 +252,10 @@ type cluster struct {
 }
 
 // newCluster builds a host; nominal speed 2.0 cycles/ns, SMT and turbo on.
-func newCluster(seed int64, sockets, cores, threadsPer int) *cluster {
-	eng := sim.NewEngine(seed)
+// The seed comes from o.Seed and the engine is registered with o.Stats.
+func newCluster(o Options, sockets, cores, threadsPer int) *cluster {
+	eng := sim.NewEngine(o.Seed)
+	o.Stats.Track(eng)
 	cfg := host.DefaultConfig()
 	cfg.Sockets = sockets
 	cfg.CoresPerSocket = cores
@@ -196,8 +265,9 @@ func newCluster(seed int64, sockets, cores, threadsPer int) *cluster {
 
 // newFlatCluster builds a host without SMT/turbo speed effects — used by
 // controlled experiments that need exact capacity arithmetic.
-func newFlatCluster(seed int64, sockets, cores, threadsPer int) *cluster {
-	eng := sim.NewEngine(seed)
+func newFlatCluster(o Options, sockets, cores, threadsPer int) *cluster {
+	eng := sim.NewEngine(o.Seed)
+	o.Stats.Track(eng)
 	cfg := host.DefaultConfig()
 	cfg.Sockets = sockets
 	cfg.CoresPerSocket = cores

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// fastDeterminismIDs are the experiments cheap enough to double-run even
+// with -short; the full suite covers the whole registry.
+var fastDeterminismIDs = map[string]bool{
+	"fig3": true, "fig10a": true, "fig10b": true, "table2": true,
+	"fig11": true, "table4": true, "fig16": true, "fig20": true,
+}
+
+// TestRegistryDeterminismTwice is the determinism regression suite: every
+// registry experiment, run twice with the same seed at -scale 0.1, must
+// produce byte-identical report output. Any hidden global state, map
+// iteration, or time.Now leak in an experiment or the substrate shows up
+// here as a diff.
+func TestRegistryDeterminismTwice(t *testing.T) {
+	for _, r := range Registry() {
+		r := r
+		if testing.Short() && !fastDeterminismIDs[r.ID] {
+			continue
+		}
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			opt := Options{Seed: 42, Scale: 0.1}
+			a := r.Run(opt).String()
+			b := r.Run(opt).String()
+			if a != b {
+				t.Fatalf("rerun with the same seed diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+			}
+			if a == "" {
+				t.Fatal("empty report")
+			}
+		})
+	}
+}
+
+// TestStatsObservationIsInert checks the harness's Stats hook never changes
+// results: a run with Stats attached must be byte-identical to one without,
+// while still counting engines and events.
+func TestStatsObservationIsInert(t *testing.T) {
+	r, _ := ByID("fig3")
+	plain := r.Run(Options{Seed: 42, Scale: 0.1}).String()
+	stats := &Stats{}
+	observed := r.Run(Options{Seed: 42, Scale: 0.1, Stats: stats}).String()
+	if plain != observed {
+		t.Fatalf("attaching Stats changed the report:\n%s\nvs\n%s", plain, observed)
+	}
+	if stats.Engines() == 0 || stats.EventsFired() == 0 {
+		t.Fatalf("stats recorded nothing: engines=%d events=%d", stats.Engines(), stats.EventsFired())
+	}
+}

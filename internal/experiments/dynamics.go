@@ -23,7 +23,7 @@ func Fig16(opt Options) *Report {
 	phaseNames := []string{"dedicated", "overcommitted", "asymmetric", "constrained"}
 
 	run := func(cfg Config) *metrics.TimeSeries {
-		c := newFlatCluster(opt.Seed, 1, 16, 1)
+		c := newFlatCluster(opt, 1, 16, 1)
 		d := deploy(c, "vm", c.firstThreads(16), cfg)
 		// Moderate closed-loop concurrency: roughly half the vCPUs busy at
 		// a time, so unused vCPU shares exist for ivh to harvest when the
@@ -127,7 +127,7 @@ func Fig17(opt Options) *Report {
 	}
 
 	run := func(cfg Config) (*metrics.TimeSeries, neighbours) {
-		c := newFlatCluster(opt.Seed, 1, 16, 1)
+		c := newFlatCluster(opt, 1, 16, 1)
 		// The nginx VM and every co-located VM pin vCPU i on core i: cores
 		// are time-shared between tenants, the multi-tenant norm.
 		nginxD := deploy(c, "nginx-vm", c.firstThreads(16), cfg)

@@ -30,7 +30,7 @@ func Fig11(opt Options) *Report {
 	window := opt.scaled(20 * sim.Second)
 
 	run := func(asymmetric, withVcap bool) (fastFrac float64, ops uint64, migrations uint64) {
-		c := newFlatCluster(opt.Seed, 1, 16, 1)
+		c := newFlatCluster(opt, 1, 16, 1)
 		feats := core.Features{}
 		if withVcap {
 			feats = vcapOnly()
@@ -114,7 +114,7 @@ func Fig12(opt Options) *Report {
 	// (a) Underloaded: 16 hogs on 32 vCPUs over 16 SMT pairs; count busy
 	// cores.
 	activeCores := func(withVtop bool) float64 {
-		c := newCluster(opt.Seed, 1, 16, 2)
+		c := newCluster(opt, 1, 16, 2)
 		feats := core.Features{}
 		if withVtop {
 			feats = vtopOnly()
@@ -151,7 +151,7 @@ func Fig12(opt Options) *Report {
 
 	// (b) Mixed workloads: matmul + {nginx, fio}, 16 threads each.
 	mixed := func(other string, withVtop bool) (uint64, uint64) {
-		c := newCluster(opt.Seed, 1, 16, 2)
+		c := newCluster(opt, 1, 16, 2)
 		feats := core.Features{}
 		if withVtop {
 			feats = vtopOnly()
@@ -193,7 +193,7 @@ func Fig13(opt Options) *Report {
 	window := opt.scaled(15 * sim.Second)
 
 	run := func(bench string, withVtop bool) (ops uint64, opsPerMcycle float64, ipis uint64) {
-		c := newCluster(opt.Seed, 2, 8, 2)
+		c := newCluster(opt, 2, 8, 2)
 		feats := core.Features{}
 		if withVtop {
 			feats = vtopOnly()

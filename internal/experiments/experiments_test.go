@@ -60,7 +60,7 @@ func TestOptionsScaling(t *testing.T) {
 }
 
 func TestVMTypeShapes(t *testing.T) {
-	c, threads := rcvmCluster(1)
+	c, threads := rcvmCluster(Options{Seed: 1})
 	if len(threads) != 12 {
 		t.Fatalf("rcvm wants 12 vCPUs, got %d", len(threads))
 	}
@@ -72,7 +72,7 @@ func TestVMTypeShapes(t *testing.T) {
 	}
 	_ = c
 
-	c2, threads2 := hpvmCluster(1)
+	c2, threads2 := hpvmCluster(Options{Seed: 1})
 	if len(threads2) != 32 {
 		t.Fatalf("hpvm wants 32 vCPUs, got %d", len(threads2))
 	}
@@ -92,7 +92,7 @@ func TestVMTypeShapes(t *testing.T) {
 }
 
 func TestCategoryApply(t *testing.T) {
-	c := newFlatCluster(1, 1, 2, 1)
+	c := newFlatCluster(Options{Seed: 1}, 1, 2, 1)
 	catHCLL.apply(c, c.h.Thread(0), 0)
 	// A vCPU entity sharing thread 0 should now get ~70%.
 	e := c.h.NewEntity("probe", c.h.Thread(0), host.DefaultWeight, host.NopClient{})

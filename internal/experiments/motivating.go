@@ -28,7 +28,7 @@ func Fig2(opt Options) *Report {
 		for _, bench := range benches {
 			p95 := map[sim.Duration]int64{}
 			for _, L := range lats {
-				c := newFlatCluster(opt.Seed, 2, 16, 1)
+				c := newFlatCluster(opt, 2, 16, 1)
 				d := deploy(c, "vm", c.firstThreads(32), CFS)
 				// Per the paper's method: a CFS co-tenant stresses every
 				// core while the host scheduling granularities are tuned to
@@ -77,7 +77,7 @@ func Fig3(opt Options) *Report {
 	window := opt.scaled(2 * sim.Second)
 
 	run := func(migrate bool) (float64, string) {
-		c := newFlatCluster(opt.Seed, 1, 4, 1)
+		c := newFlatCluster(opt, 1, 4, 1)
 		d := deploy(c, "vm", c.firstThreads(4), CFS)
 		for i := 0; i < 4; i++ {
 			halfDuty(c, c.h.Thread(i), 5*sim.Millisecond, i)
@@ -168,7 +168,7 @@ func Fig4(opt Options) *Report {
 	window := opt.scaled(8 * sim.Second)
 
 	runStraggler := func(bench string, nwc bool) uint64 {
-		c := newFlatCluster(opt.Seed, 1, 16, 1)
+		c := newFlatCluster(opt, 1, 16, 1)
 		d := deploy(c, "vm", c.firstThreads(16), CFS)
 		// One vCPU with ~5% capacity: a high-priority host task hogs core 15.
 		catStraggler.apply(c, c.h.Thread(15), 0)
@@ -197,7 +197,7 @@ func Fig4(opt Options) *Report {
 	}
 
 	runStacked := func(bench string, nwc bool) uint64 {
-		c := newFlatCluster(opt.Seed, 1, 8, 1)
+		c := newFlatCluster(opt, 1, 8, 1)
 		d := stackedDeploy(c)
 		g := d.vm.NewGroup("bench")
 		if nwc {
@@ -215,7 +215,7 @@ func Fig4(opt Options) *Report {
 	}
 
 	runPrioInv := func(bench string, nwc bool) uint64 {
-		c := newFlatCluster(opt.Seed, 1, 8, 1)
+		c := newFlatCluster(opt, 1, 8, 1)
 		d := stackedDeploy(c)
 		// A best-effort workload occupies one vCPU of each stacking pair
 		// (the odd ones).

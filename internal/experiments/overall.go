@@ -10,9 +10,9 @@ import (
 // runOverallOne measures one (workload, config) cell of the overall
 // evaluation: throughput workloads report ops in the window, latency
 // workloads p95 end-to-end latency.
-func runOverallOne(opt Options, build func(int64, Config) (*cluster, *deployment),
+func runOverallOne(opt Options, build func(Options, Config) (*cluster, *deployment),
 	spec workload.Spec, cfg Config, warm, window sim.Duration) (ops uint64, p95 int64) {
-	c, d := build(opt.Seed, cfg)
+	c, d := build(opt, cfg)
 	inst := spec.New(d.env(d.vm.NumVCPUs()))
 	inst.Start()
 	c.eng.RunFor(warm)
@@ -27,7 +27,7 @@ func runOverallOne(opt Options, build func(int64, Config) (*cluster, *deployment
 }
 
 // overall runs the full 31-workload × 3-configuration matrix of Figs. 18/19.
-func overall(opt Options, id, title string, build func(int64, Config) (*cluster, *deployment)) *Report {
+func overall(opt Options, id, title string, build func(Options, Config) (*cluster, *deployment)) *Report {
 	rep := &Report{
 		ID:     id,
 		Title:  title,
@@ -119,7 +119,7 @@ func Fig20(opt Options) *Report {
 		}
 		for _, bench := range benches {
 			for _, cfg := range []Config{CFS, VSched} {
-				c, d := build(opt.Seed, cfg)
+				c, d := build(opt, cfg)
 				c.eng.RunFor(warm)
 				start := c.eng.Now()
 				cy0 := d.vm.TotalCycles()
@@ -211,8 +211,8 @@ func Fig21(opt Options) *Report {
 	latBenches := []string{"img-dnn", "moses", "masstree", "silo", "shore", "specjbb",
 		"sphinx", "xapian"}
 
-	build := func(seed int64, cfg Config) (*cluster, *deployment) {
-		c := newFlatCluster(seed, 1, 16, 1)
+	build := func(o Options, cfg Config) (*cluster, *deployment) {
+		c := newFlatCluster(o, 1, 16, 1)
 		return c, deploy(c, "vm", c.firstThreads(16), cfg)
 	}
 

@@ -18,7 +18,7 @@ func Fig10a(opt Options) *Report {
 		Title:  "Actual vs probed EMA capacity over time",
 		Header: []string{"t(s)", "actual", "ema", "abs-err"},
 	}
-	c := newFlatCluster(opt.Seed, 1, 2, 1)
+	c := newFlatCluster(opt, 1, 2, 1)
 	d := deployFeatures(c, "vm", c.firstThreads(1), core.Features{Vcap: true, Vact: true})
 	th := c.h.Thread(0)
 
@@ -87,7 +87,7 @@ func Fig10b(opt Options) *Report {
 		ID:    "fig10b",
 		Title: "Probed cache line transfer latency matrix (ns; inf = stacked)",
 	}
-	c := newCluster(opt.Seed, 2, 2, 2)
+	c := newCluster(opt, 2, 2, 2)
 	threads := []*host.Thread{
 		c.h.ThreadAt(0, 0, 0), c.h.ThreadAt(0, 0, 1),
 		c.h.ThreadAt(0, 1, 0), c.h.ThreadAt(0, 1, 1),
@@ -143,8 +143,8 @@ func Table2(opt Options) *Report {
 		Title:  "vtop probing time (ms)",
 		Header: []string{"config", "full", "validate"},
 	}
-	measure := func(name string, mk func(int64) (*cluster, []*host.Thread)) {
-		c, threads := mk(opt.Seed)
+	measure := func(name string, mk func(Options) (*cluster, []*host.Thread)) {
+		c, threads := mk(opt)
 		d := deployFeatures(c, name, threads, core.Features{Vtop: true})
 		vt := d.vs.Vtop()
 		// Let the bootstrap full probe and at least one validation pass run.

@@ -85,7 +85,7 @@ func TestHPVMLatencyOrdering(t *testing.T) {
 		t.Skip("multi-seed robustness suite")
 	}
 	run := func(seed int64, cfg Config) int64 {
-		c, d := BuildHPVM(seed, cfg)
+		c, d := BuildHPVM(Options{Seed: seed}, cfg)
 		spec, _ := workload.ByName("silo")
 		srv := spec.New(d.env(d.vm.NumVCPUs())).(*workload.Server)
 		srv.Start()

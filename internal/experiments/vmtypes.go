@@ -47,8 +47,8 @@ func (cat category) apply(c *cluster, t *host.Thread, phase sim.Duration) {
 
 // rcvmCluster builds the rcvm host and VM threads: vCPU0..9 on five SMT
 // pairs (cores 0-4), vCPU10,11 stacked on core 5 thread 0.
-func rcvmCluster(seed int64) (*cluster, []*host.Thread) {
-	c := newCluster(seed, 1, 6, 2)
+func rcvmCluster(o Options) (*cluster, []*host.Thread) {
+	c := newCluster(o, 1, 6, 2)
 	threads := make([]*host.Thread, 0, 12)
 	for i := 0; i < 10; i++ {
 		threads = append(threads, c.h.Thread(i))
@@ -66,8 +66,8 @@ func rcvmCluster(seed int64) (*cluster, []*host.Thread) {
 
 // hpvmCluster builds the hpvm host and VM threads: sockets 0-2 carry the
 // four categories (one SMT pair each), socket 3 is dedicated.
-func hpvmCluster(seed int64) (*cluster, []*host.Thread) {
-	c := newCluster(seed, 4, 4, 2)
+func hpvmCluster(o Options) (*cluster, []*host.Thread) {
+	c := newCluster(o, 4, 4, 2)
 	var threads []*host.Thread
 	cats := []category{catHCHL, catHCLL, catLCHL, catLCLL}
 	for s := 0; s < 4; s++ {
@@ -86,13 +86,13 @@ func hpvmCluster(seed int64) (*cluster, []*host.Thread) {
 }
 
 // BuildRCVM deploys the resource-constrained VM under a configuration.
-func BuildRCVM(seed int64, cfg Config) (*cluster, *deployment) {
-	c, threads := rcvmCluster(seed)
+func BuildRCVM(o Options, cfg Config) (*cluster, *deployment) {
+	c, threads := rcvmCluster(o)
 	return c, deploy(c, "rcvm", threads, cfg)
 }
 
 // BuildHPVM deploys the high-performance VM under a configuration.
-func BuildHPVM(seed int64, cfg Config) (*cluster, *deployment) {
-	c, threads := hpvmCluster(seed)
+func BuildHPVM(o Options, cfg Config) (*cluster, *deployment) {
+	c, threads := hpvmCluster(o)
 	return c, deploy(c, "hpvm", threads, cfg)
 }

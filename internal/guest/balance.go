@@ -87,11 +87,18 @@ func (vm *VM) periodicBalance() {
 // every vCPU is its own core, so this never fires under stock abstraction.
 func (vm *VM) smtBalancePass() {
 	now := vm.eng.Now()
-	// Collect believed core groups with more than one member.
+	// Collect believed core groups with more than one member. coreOrder
+	// remembers first-appearance order: iterating the map directly would
+	// randomise which overloaded core unstacks first and which idle core
+	// receives, breaking run-to-run determinism.
 	byCore := map[int][]*VCPU{}
+	var coreOrder []int
 	multi := false
 	for i, v := range vm.vcpus {
 		g := vm.topo.CoreOf[i]
+		if len(byCore[g]) == 0 {
+			coreOrder = append(coreOrder, g)
+		}
 		byCore[g] = append(byCore[g], v)
 		if len(byCore[g]) > 1 {
 			multi = true
@@ -113,7 +120,8 @@ func (vm *VM) smtBalancePass() {
 		}
 		return n
 	}
-	for _, members := range byCore {
+	for _, g := range coreOrder {
+		members := byCore[g]
 		if len(members) < 2 || groupHeavy(members) < 2 {
 			continue
 		}
@@ -121,7 +129,8 @@ func (vm *VM) smtBalancePass() {
 		// Requiring every member idle keeps this from thrashing on the
 		// transient idleness at the tail of barrier phases.
 		var dst *VCPU
-		for _, cand := range byCore {
+		for _, cg := range coreOrder {
+			cand := byCore[cg]
 			allIdle := true
 			for _, u := range cand {
 				if !u.GuestIdle() {

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"vsched/internal/experiments"
+	"vsched/internal/metrics"
+)
+
+// aggregate merges the successful trials of one experiment into a single
+// report. Cells that parse as numbers (optionally suffixed %, x, ms, ...)
+// become mean±stddev [min,max] over the replicate seeds; cells that are
+// identical across every replicate (labels, constant values) pass through
+// verbatim; anything else is marked "varies". Trials whose report shape
+// diverges from replicate 0's are dropped with a note — shape is part of an
+// experiment's contract and a divergence is a bug worth surfacing, not
+// averaging away.
+//
+// The output is a pure function of the trial reports (never of timing or
+// completion order), which is what makes parallel and serial harness output
+// byte-identical.
+func aggregate(trials []TrialResult) *experiments.Report {
+	var ok []*experiments.Report
+	var okSeeds []int64
+	var failed []string
+	var dropped []string
+	for i := range trials {
+		t := &trials[i]
+		if !t.OK() {
+			failed = append(failed, fmt.Sprintf("rep %d (seed %d): %s", t.Replicate, t.Seed, t.Err))
+			continue
+		}
+		if len(ok) > 0 && !sameShape(ok[0], t.Report) {
+			dropped = append(dropped, fmt.Sprintf("rep %d (seed %d)", t.Replicate, t.Seed))
+			continue
+		}
+		ok = append(ok, t.Report)
+		okSeeds = append(okSeeds, t.Seed)
+	}
+	if len(ok) == 0 {
+		return nil
+	}
+	if len(ok) == 1 && len(failed) == 0 && len(dropped) == 0 {
+		return ok[0]
+	}
+
+	base := ok[0]
+	out := &experiments.Report{
+		ID:     base.ID,
+		Title:  base.Title,
+		Header: append([]string(nil), base.Header...),
+	}
+	for row := range base.Rows {
+		cells := make([]string, len(base.Rows[row]))
+		for col := range base.Rows[row] {
+			cells[col] = mergeCell(ok, row, col)
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	// Notes identical across replicates survive; diverging ones are noise.
+	for n, note := range base.Notes {
+		keep := true
+		for _, rep := range ok[1:] {
+			if n >= len(rep.Notes) || rep.Notes[n] != note {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Notes = append(out.Notes, note)
+		}
+	}
+	out.Notef("aggregate of %d seeds: %s", len(ok), seedList(okSeeds))
+	for _, d := range dropped {
+		out.Notef("dropped (report shape diverged from rep 0): %s", d)
+	}
+	for _, f := range failed {
+		out.Notef("failed: %s", f)
+	}
+	return out
+}
+
+// mergeCell folds one (row, col) cell across replicate reports.
+func mergeCell(reps []*experiments.Report, row, col int) string {
+	first := reps[0].Rows[row][col]
+	identical := true
+	var sum metrics.Summary
+	suffix := ""
+	numeric := true
+	for i, rep := range reps {
+		cell := rep.Rows[row][col]
+		if cell != first {
+			identical = false
+		}
+		v, suf, ok := metrics.ParseCell(cell)
+		if !ok || (i > 0 && suf != suffix) {
+			numeric = false
+			continue
+		}
+		suffix = suf
+		sum.Add(v)
+	}
+	switch {
+	case identical:
+		return first
+	case numeric:
+		return metrics.FormatCell(sum, suffix)
+	default:
+		return "varies"
+	}
+}
+
+func sameShape(a, b *experiments.Report) bool {
+	if len(a.Header) != len(b.Header) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func seedList(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = fmt.Sprint(s)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"vsched/internal/experiments"
+)
+
+// Text renders the run deterministically: one report per experiment in
+// registry order, aggregated across replicates, with failures summarised in
+// place. The output is a pure function of (seed set, scale, experiment set)
+// — wall times and worker counts never appear — so serial and parallel runs
+// of the same configuration produce byte-identical text.
+func (r *Result) Text() string {
+	var b strings.Builder
+	for i := range r.Experiments {
+		ex := &r.Experiments[i]
+		if ex.Aggregate != nil {
+			b.WriteString(ex.Aggregate.String())
+		} else {
+			fmt.Fprintf(&b, "== %s: %s ==\n", ex.ID, ex.Title)
+			for j := range ex.Trials {
+				t := &ex.Trials[j]
+				fmt.Fprintf(&b, "FAILED rep %d (seed %d): %s\n", t.Replicate, t.Seed, t.Err)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Artifact line types. A run artifact is JSON lines: one "run" header with
+// the full configuration and seed set, one "trial" line per trial (with its
+// report, or the error that replaced it), and one "summary" trailer with the
+// wall-clock totals that deliberately stay out of the deterministic header.
+type artifactRun struct {
+	Type        string   `json:"type"` // "run"
+	BaseSeed    int64    `json:"base_seed"`
+	Reps        int      `json:"reps"`
+	Workers     int      `json:"workers"`
+	Scale       float64  `json:"scale"`
+	TimeoutMS   int64    `json:"timeout_ms,omitempty"`
+	Experiments []string `json:"experiments"`
+	Seeds       []int64  `json:"seeds"`
+}
+
+type artifactTrial struct {
+	Type       string              `json:"type"` // "trial"
+	Experiment string              `json:"experiment"`
+	Replicate  int                 `json:"replicate"`
+	Seed       int64               `json:"seed"`
+	WallMS     float64             `json:"wall_ms"`
+	Events     uint64              `json:"events"`
+	Engines    int                 `json:"engines"`
+	Err        string              `json:"err,omitempty"`
+	TimedOut   bool                `json:"timed_out,omitempty"`
+	Report     *experiments.Report `json:"report,omitempty"`
+}
+
+type artifactAggregate struct {
+	Type       string              `json:"type"` // "aggregate"
+	Experiment string              `json:"experiment"`
+	Reps       int                 `json:"reps"`
+	Report     *experiments.Report `json:"report"`
+}
+
+type artifactSummary struct {
+	Type   string  `json:"type"` // "summary"
+	WallMS float64 `json:"wall_ms"`
+	Events uint64  `json:"events"`
+	Trials int     `json:"trials"`
+	Failed int     `json:"failed"`
+}
+
+// WriteArtifact streams the run as JSON lines to w.
+func (r *Result) WriteArtifact(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	ids := make([]string, len(r.Experiments))
+	for i := range r.Experiments {
+		ids[i] = r.Experiments[i].ID
+	}
+	if err := enc.Encode(artifactRun{
+		Type:        "run",
+		BaseSeed:    r.BaseSeed,
+		Reps:        r.Reps,
+		Workers:     r.Workers,
+		Scale:       r.Scale,
+		TimeoutMS:   r.Timeout.Milliseconds(),
+		Experiments: ids,
+		Seeds:       r.Seeds(),
+	}); err != nil {
+		return err
+	}
+	for i := range r.Experiments {
+		ex := &r.Experiments[i]
+		for j := range ex.Trials {
+			t := &ex.Trials[j]
+			if err := enc.Encode(artifactTrial{
+				Type:       "trial",
+				Experiment: t.ExperimentID,
+				Replicate:  t.Replicate,
+				Seed:       t.Seed,
+				WallMS:     float64(t.WallTime.Microseconds()) / 1000,
+				Events:     t.Events,
+				Engines:    t.Engines,
+				Err:        t.Err,
+				TimedOut:   t.TimedOut,
+				Report:     t.Report,
+			}); err != nil {
+				return err
+			}
+		}
+		if r.Reps > 1 && ex.Aggregate != nil {
+			if err := enc.Encode(artifactAggregate{
+				Type:       "aggregate",
+				Experiment: ex.ID,
+				Reps:       len(ex.Trials),
+				Report:     ex.Aggregate,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return enc.Encode(artifactSummary{
+		Type:   "summary",
+		WallMS: float64(r.WallTime.Microseconds()) / 1000,
+		Events: r.EventsFired(),
+		Trials: r.Trials(),
+		Failed: r.Failed(),
+	})
+}

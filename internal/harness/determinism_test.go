@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"testing"
+
+	"vsched/internal/experiments"
+)
+
+func registrySubset(t *testing.T, ids ...string) []experiments.Runner {
+	t.Helper()
+	var rs []experiments.Runner
+	for _, id := range ids {
+		r, ok := experiments.ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// TestParallelMatchesSerialFastSubset drives real experiments with
+// replication through serial and parallel harnesses and requires
+// byte-identical text and artifacts-modulo-timing. Cheap enough for -short
+// and the race pass.
+func TestParallelMatchesSerialFastSubset(t *testing.T) {
+	runners := registrySubset(t, "fig3", "fig10a", "table2", "fig11")
+	run := func(workers int) *Result {
+		return Run(Config{Runners: runners, BaseSeed: 42, Reps: 3, Scale: 0.05, Workers: workers})
+	}
+	serial, parallel := run(1), run(8)
+	if serial.Failed()+parallel.Failed() != 0 {
+		t.Fatalf("failures: serial=%d parallel=%d", serial.Failed(), parallel.Failed())
+	}
+	if serial.Text() != parallel.Text() {
+		t.Fatalf("parallel harness output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.Text(), parallel.Text())
+	}
+	if serial.EventsFired() != parallel.EventsFired() {
+		t.Fatalf("event totals differ: %d vs %d", serial.EventsFired(), parallel.EventsFired())
+	}
+}
+
+// TestParallelMatchesSerialFullRegistry is the acceptance check for the
+// harness: the complete registry (the cmd/experiments -run all path), run
+// serially and with a worker pool, must produce byte-identical reports for
+// the same seed set.
+func TestParallelMatchesSerialFullRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry determinism suite")
+	}
+	run := func(workers int) *Result {
+		return Run(Config{BaseSeed: 42, Scale: 0.05, Workers: workers})
+	}
+	serial, parallel := run(1), run(8)
+	if serial.Failed()+parallel.Failed() != 0 {
+		t.Fatalf("failures: serial=%d parallel=%d", serial.Failed(), parallel.Failed())
+	}
+	if serial.Text() != parallel.Text() {
+		t.Fatal("parallel full-registry output differs from serial")
+	}
+	if got := len(serial.Experiments); got != len(experiments.Registry()) {
+		t.Fatalf("experiments covered: %d", got)
+	}
+}
+
+// TestRepsOneMatchesDirectRun pins the compatibility contract: a -reps 1
+// harness trial is the classic serial run, bit for bit (replicate 0 keeps
+// the base seed).
+func TestRepsOneMatchesDirectRun(t *testing.T) {
+	r, _ := experiments.ByID("fig3")
+	direct := r.Run(experiments.Options{Seed: 42, Scale: 0.1}).String()
+	res := Run(Config{Runners: []experiments.Runner{r}, BaseSeed: 42, Scale: 0.1, Workers: 4})
+	harnessed := res.Experiments[0].Trials[0].Report.String()
+	if direct != harnessed {
+		t.Fatalf("harness trial diverged from direct run:\n%s\nvs\n%s", direct, harnessed)
+	}
+}

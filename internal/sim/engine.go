@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Event is a scheduled callback. Events are created through Engine.At or
@@ -12,6 +13,7 @@ type Event struct {
 	at       Time
 	seq      uint64 // insertion order, breaks ties deterministically
 	fn       func()
+	eng      *Engine
 	canceled bool
 	fired    bool
 }
@@ -19,8 +21,13 @@ type Event struct {
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (ev *Event) Cancel() {
-	if ev != nil {
-		ev.canceled = true
+	if ev == nil || ev.canceled || ev.fired {
+		return
+	}
+	ev.canceled = true
+	if ev.eng != nil {
+		ev.eng.ncanceled++
+		ev.eng.maybeCompact()
 	}
 }
 
@@ -51,16 +58,25 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// compactThreshold is the minimum number of cancelled-but-undiscarded events
+// before compaction is considered; below it the garbage is cheaper than the
+// rebuild.
+const compactThreshold = 64
+
 // Engine is a discrete-event simulator: a virtual clock plus an ordered
 // queue of pending events. It is not safe for concurrent use; the entire
 // simulation runs on one goroutine, which is what makes it deterministic.
+// The single exception is Interrupt, which may be called from another
+// goroutine to stop a runaway simulation.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
-	seed   int64
-	nfired uint64
+	now       Time
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	seed      int64
+	nfired    uint64
+	ncanceled int // cancelled events still sitting in the heap
+	stopped   atomic.Bool
 }
 
 // NewEngine returns an engine whose clock reads zero and whose random source
@@ -84,9 +100,41 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // performance reporting in benchmarks.
 func (e *Engine) Fired() uint64 { return e.nfired }
 
-// Pending returns the number of events in the queue (including cancelled
-// ones that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of pending (active) events: cancelled events
+// that have not yet been discarded from the queue are not counted.
+func (e *Engine) Pending() int { return len(e.events) - e.ncanceled }
+
+// Interrupt asks the engine to stop executing events: every subsequent Step,
+// Run, RunFor, or Drain call returns without firing anything. It is the only
+// Engine method safe to call from another goroutine — the harness uses it to
+// cancel a trial that overran its wall-clock budget. Interrupting does not
+// corrupt engine state; it only freezes the simulation.
+func (e *Engine) Interrupt() { e.stopped.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (e *Engine) Interrupted() bool { return e.stopped.Load() }
+
+// maybeCompact rebuilds the heap without cancelled events once they are both
+// numerous and the majority of the queue. The rebuild preserves firing order
+// exactly: ordering is the total (time, seq) order, which does not depend on
+// the slice layout heap.Init starts from.
+func (e *Engine) maybeCompact() {
+	if e.ncanceled < compactThreshold || e.ncanceled*2 < len(e.events) {
+		return
+	}
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if !ev.canceled {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.ncanceled = 0
+	heap.Init(&e.events)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently corrupt causality.
@@ -95,7 +143,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	heap.Push(&e.events, ev)
 	return ev
 }
@@ -109,11 +157,15 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 }
 
 // Step executes the next pending event, advancing the clock to its time.
-// It returns false if the queue is empty.
+// It returns false if the queue is empty or the engine was interrupted.
 func (e *Engine) Step() bool {
+	if e.stopped.Load() {
+		return false
+	}
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.ncanceled--
 			continue
 		}
 		e.now = ev.at
@@ -129,11 +181,12 @@ func (e *Engine) Step() bool {
 // the clock to exactly `until`. Events scheduled at `until` itself are
 // executed.
 func (e *Engine) Run(until Time) {
-	for len(e.events) > 0 {
+	for len(e.events) > 0 && !e.stopped.Load() {
 		// Peek.
 		next := e.events[0]
 		if next.canceled {
 			heap.Pop(&e.events)
+			e.ncanceled--
 			continue
 		}
 		if next.at > until {

@@ -218,6 +218,121 @@ func TestEngineAuxiliaries(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]*Event, 5)
+	for i := range evs {
+		evs[i] = e.At(Time(10*(i+1)), func() {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending=%d want 5", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("cancelled events must not count: pending=%d want 3", e.Pending())
+	}
+	evs[1].Cancel() // double cancel must not double-count
+	if e.Pending() != 3 {
+		t.Fatalf("double cancel skewed accounting: pending=%d", e.Pending())
+	}
+	e.Run(35) // fires ev0, discards cancelled ev1, fires ev2
+	if e.Fired() != 2 {
+		t.Fatalf("fired=%d want 2", e.Fired())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("after run pending=%d want 1", e.Pending())
+	}
+	evs[0].Cancel() // cancelling a fired event is a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("cancel-after-fire skewed accounting: pending=%d", e.Pending())
+	}
+	e.Run(100)
+	if e.Pending() != 0 || e.Fired() != 3 {
+		t.Fatalf("end state pending=%d fired=%d", e.Pending(), e.Fired())
+	}
+}
+
+func TestCancelThenRunDiscardsExactly(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, e.At(Time(i), func() { fired++ }))
+	}
+	for i := 0; i < 100; i += 2 {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 50 {
+		t.Fatalf("pending=%d want 50", e.Pending())
+	}
+	e.Run(1000)
+	if fired != 50 || e.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d", fired, e.Pending())
+	}
+}
+
+func TestCompactionPreservesOrderAndBoundsGarbage(t *testing.T) {
+	e := NewEngine(1)
+	var order []Time
+	var cancel []*Event
+	for i := 0; i < 4096; i++ {
+		ev := e.At(Time(i), func() { order = append(order, e.Now()) })
+		if i%8 != 0 {
+			cancel = append(cancel, ev)
+		}
+	}
+	for _, ev := range cancel {
+		ev.Cancel()
+	}
+	// Compaction must have kicked in: the raw queue cannot still hold all
+	// 4096 events when only 512 are live.
+	if len(e.events) >= 4096 {
+		t.Fatalf("heap not compacted: raw len %d", len(e.events))
+	}
+	if e.Pending() != 512 {
+		t.Fatalf("pending=%d want 512", e.Pending())
+	}
+	e.Run(1 << 20)
+	if len(order) != 512 {
+		t.Fatalf("fired %d want 512", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("compaction broke ordering at %d: %v then %v", i, order[i-1], order[i])
+		}
+	}
+}
+
+func TestInterruptStopsExecution(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() { fired++ })
+	}
+	e.At(4, func() { e.Interrupt() })
+	e.Run(100)
+	if fired != 5 {
+		t.Fatalf("interrupt must stop further events: fired=%d", fired)
+	}
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() must report true")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("interrupted Run must still land on until: now=%v", e.Now())
+	}
+	e.RunFor(50)
+	if fired != 5 {
+		t.Fatal("interrupted engine fired more events")
+	}
+	if e.Step() {
+		t.Fatal("Step on interrupted engine must return false")
+	}
+	if e.Drain(10) != 0 {
+		t.Fatal("Drain on interrupted engine must execute nothing")
+	}
+}
+
 func TestEngineNegativeAfterPanics(t *testing.T) {
 	e := NewEngine(1)
 	defer func() {

