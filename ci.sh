@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before merging.
 #
-#   ./ci.sh         # vet + build + full tests + race pass on concurrent packages
+#   ./ci.sh         # gofmt + vet + build + full tests + race pass + bench smoke
 #   ./ci.sh quick   # same, but -short tests (skips the full-registry suites)
 #
 # The race pass covers the packages that actually run goroutines: the
@@ -14,6 +14,14 @@ if [ "${1:-}" = "quick" ]; then
     short="-short"
 fi
 
+echo "== gofmt -l"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -23,7 +31,13 @@ go build ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/..."
-go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/...
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/...
+
+# Tracing-overhead smoke: the disabled path must stay allocation-free and the
+# enabled path cheap. TestEmitAllocatesNothing enforces zero allocs; the
+# benchmarks print the per-event cost so regressions are visible in CI logs.
+echo "== tracer overhead smoke"
+go test -run '^$' -bench 'BenchmarkEmit' -benchtime 1000x ./internal/vtrace/
 
 echo "CI OK"

@@ -8,44 +8,61 @@
 //	vschedsim -workload nginx -vcpus 8 -share 0.5 -vsched
 //	vschedsim -workload masstree -vcpus 16 -share 0.5 -latency 8ms -features vcap,vact,vtop,bvs
 //	vschedsim -workload canneal -threads 4 -vcpus 16 -share 0.5 -features vcap,vact,ivh -duration 30s
+//	vschedsim -workload nginx -vcpus 4 -share 0.5 -vsched -trace out.json   # open in Perfetto
+//	vschedsim -workload nginx -vcpus 4 -vsched -metrics                     # registry snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"vsched"
-	"vsched/internal/trace"
+	"vsched/internal/vtrace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected: args without argv[0], and the
+// two output streams. Scenario results go to stdout; diagnostics, the trace
+// summary, and the wall-time line go to stderr, so stdout is a deterministic
+// function of the flags and seed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vschedsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workloadName = flag.String("workload", "nginx", "catalogued benchmark (see -list)")
-		list         = flag.Bool("list", false, "list workloads and exit")
-		vcpus        = flag.Int("vcpus", 8, "vCPU count (pinned 1:1 on threads)")
-		threads      = flag.Int("threads", 0, "workload threads (0 = default)")
-		sockets      = flag.Int("sockets", 1, "host sockets")
-		cores        = flag.Int("cores", 0, "cores per socket (0 = vcpus)")
-		smt          = flag.Bool("smt", false, "enable SMT/turbo speed effects")
-		share        = flag.Float64("share", 1.0, "fair share each vCPU gets of its core (1.0 = dedicated)")
-		latency      = flag.Duration("latency", 0, "target vCPU latency via host granularities (0 = default)")
-		vschedOn     = flag.Bool("vsched", false, "enable full vSched")
-		featuresFlag = flag.String("features", "", "comma-separated subset: vcap,vact,vtop,bvs,ivh,rwc")
-		policy       = flag.String("policy", "cfs", "guest scheduling policy: cfs or eevdf")
-		duration     = flag.Duration("duration", 20*time.Second, "virtual measurement time")
-		warmup       = flag.Duration("warmup", 5*time.Second, "virtual warmup time")
-		seed         = flag.Int64("seed", 1, "simulation seed")
-		watch        = flag.Bool("watch", false, "print a per-second top-style vCPU table during the run")
-		timeline     = flag.Bool("timeline", false, "print KernelShark-style per-vCPU activity strips at the end")
+		workloadName = fs.String("workload", "nginx", "catalogued benchmark (see -list)")
+		list         = fs.Bool("list", false, "list workloads and exit")
+		vcpus        = fs.Int("vcpus", 8, "vCPU count (pinned 1:1 on threads)")
+		threads      = fs.Int("threads", 0, "workload threads (0 = default)")
+		sockets      = fs.Int("sockets", 1, "host sockets")
+		cores        = fs.Int("cores", 0, "cores per socket (0 = vcpus)")
+		smt          = fs.Bool("smt", false, "enable SMT/turbo speed effects")
+		share        = fs.Float64("share", 1.0, "fair share each vCPU gets of its core (1.0 = dedicated)")
+		latency      = fs.Duration("latency", 0, "target vCPU latency via host granularities (0 = default)")
+		vschedOn     = fs.Bool("vsched", false, "enable full vSched")
+		featuresFlag = fs.String("features", "", "comma-separated subset: vcap,vact,vtop,bvs,ivh,rwc")
+		policy       = fs.String("policy", "cfs", "guest scheduling policy: cfs or eevdf")
+		duration     = fs.Duration("duration", 20*time.Second, "virtual measurement time")
+		warmup       = fs.Duration("warmup", 5*time.Second, "virtual warmup time")
+		seed         = fs.Int64("seed", 1, "simulation seed")
+		watch        = fs.Bool("watch", false, "print a per-second top-style vCPU table during the run")
+		timeline     = fs.Bool("timeline", false, "print KernelShark-style per-vCPU activity strips at the end")
+		tracePath    = fs.String("trace", "", "write a Chrome/Perfetto trace of the whole run to this file")
+		metricsOut   = fs.Bool("metrics", false, "print the VM metrics registry snapshot at the end")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("workloads:", strings.Join(vsched.WorkloadNames(), ", "))
-		return
+		fmt.Fprintln(stdout, "workloads:", strings.Join(vsched.WorkloadNames(), ", "))
+		return 0
 	}
 
 	nCores := *cores
@@ -65,10 +82,19 @@ func main() {
 	case "eevdf":
 		gp.Policy = vsched.PolicyEEVDF
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -policy %q (want cfs or eevdf)\n", *policy)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown -policy %q (want cfs or eevdf)\n", *policy)
+		return 1
 	}
 	vm := cl.NewVMWithParams("vm", ids, gp)
+
+	// Tracing taps every layer: the host observer sees entity state changes,
+	// and the VM tracer carries guest context switches plus vSched decisions.
+	var tracer *vtrace.Tracer
+	if *tracePath != "" {
+		tracer = vtrace.New(0)
+		vtrace.AttachHost(tracer, cl.Host())
+		vm.SetTracer(tracer)
+	}
 
 	// Host contention per the requested share and latency.
 	if *share < 1.0 {
@@ -104,18 +130,18 @@ func main() {
 		case "rwc":
 			feats.RWC = true
 		default:
-			fmt.Fprintf(os.Stderr, "unknown feature %q\n", f)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "unknown feature %q\n", f)
+			return 1
 		}
 	}
 	if feats != (vsched.Features{}) {
 		sched = cl.EnableVSched(vm, feats)
 	}
 
-	var timelines []*trace.Timeline
+	var timelines []*vtrace.Timeline
 	if *timeline {
 		for i := 0; i < vm.NumVCPUs(); i++ {
-			timelines = append(timelines, trace.Attach(vm.VCPU(i).Entity()))
+			timelines = append(timelines, vtrace.Attach(vm.VCPU(i).Entity()))
 		}
 	}
 
@@ -125,7 +151,7 @@ func main() {
 	warm := vsched.Duration(warmup.Nanoseconds())
 	window := vsched.Duration(duration.Nanoseconds())
 	if *watch {
-		watchLoop(cl, vm, sched, warm+window)
+		watchLoop(stdout, cl, vm, sched, warm+window)
 	}
 	cl.RunFor(warm)
 	var srv *vsched.Server
@@ -139,51 +165,76 @@ func main() {
 	wall := time.Since(start)
 
 	ops := inst.Ops() - opsBefore
-	fmt.Printf("workload=%s vcpus=%d share=%.2f features=%+v\n", *workloadName, *vcpus, *share, feats)
-	fmt.Printf("ops=%d (%.1f/s virtual)\n", ops, float64(ops)/window.Seconds())
+	fmt.Fprintf(stdout, "workload=%s vcpus=%d share=%.2f features=%+v\n", *workloadName, *vcpus, *share, feats)
+	fmt.Fprintf(stdout, "ops=%d (%.1f/s virtual)\n", ops, float64(ops)/window.Seconds())
 	if srv != nil {
-		fmt.Printf("latency p50=%.3fms p95=%.3fms p99=%.3fms (queue p95=%.3fms service p95=%.3fms)\n",
+		fmt.Fprintf(stdout, "latency p50=%.3fms p95=%.3fms p99=%.3fms (queue p95=%.3fms service p95=%.3fms)\n",
 			float64(srv.E2E().P50())/1e6, float64(srv.E2E().P95())/1e6, float64(srv.E2E().P99())/1e6,
 			float64(srv.Queue().P95())/1e6, float64(srv.Service().P95())/1e6)
 	}
 	st := vm.Stats()
-	fmt.Printf("sched: ctxsw=%d wakeups=%d migrations=%d ipis=%d (cross-socket %d)\n",
+	fmt.Fprintf(stdout, "sched: ctxsw=%d wakeups=%d migrations=%d ipis=%d (cross-socket %d)\n",
 		st.ContextSwitches, st.Wakeups, st.Migrations, st.IPIs, st.CrossIPIs)
-	fmt.Printf("cycles=%.3g (cps=%.3g/s)\n", vm.TotalCycles(), vm.TotalCycles()/window.Seconds())
+	fmt.Fprintf(stdout, "cycles=%.3g (cps=%.3g/s)\n", vm.TotalCycles(), vm.TotalCycles()/window.Seconds())
 	if sched != nil {
 		ivh := sched.IVHStats()
 		calls, hits := sched.BVSStats()
-		fmt.Printf("vsched: ivh=%+v bvs=%d/%d vtop full=%v validate=%v\n",
+		fmt.Fprintf(stdout, "vsched: ivh=%+v bvs=%d/%d vtop full=%v validate=%v\n",
 			ivh, hits, calls, sched.Vtop().LastFullTime(), sched.Vtop().LastValidateTime())
 		caps := make([]string, vm.NumVCPUs())
 		for i := range caps {
 			caps[i] = fmt.Sprintf("%d", vm.VCPU(i).Capacity())
 		}
-		fmt.Printf("probed capacities: %s\n", strings.Join(caps, " "))
+		fmt.Fprintf(stdout, "probed capacities: %s\n", strings.Join(caps, " "))
 	}
 	if *timeline {
 		// Last 80ms of the run, one strip per vCPU:
 		// '#' running, '.' preempted, 't' throttled, ' ' halted.
 		to := cl.Now()
 		from := to - vsched.Time(80*vsched.Millisecond)
-		fmt.Println("vCPU activity, final 80ms:")
+		fmt.Fprintln(stdout, "vCPU activity, final 80ms:")
 		for i, tl := range timelines {
-			fmt.Printf("  v%-3d |%s|  running %2.0f%%\n", i,
+			fmt.Fprintf(stdout, "  v%-3d |%s|  running %2.0f%%\n", i,
 				tl.Render(72, from, to), 100*tl.RunningFraction(from, to))
 		}
 	}
-	fmt.Printf("(simulated %v in %v wall time)\n", duration, wall.Round(time.Millisecond))
+	if *metricsOut {
+		fmt.Fprintln(stdout, "metrics:")
+		fmt.Fprint(stdout, vm.Metrics().Snapshot().String())
+	}
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fmt.Fprintf(stderr, "writing trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stderr, tracer.Summary())
+		fmt.Fprintf(stderr, "trace written to %s (load in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	fmt.Fprintf(stderr, "(simulated %v in %v wall time)\n", duration, wall.Round(time.Millisecond))
+	return 0
+}
+
+func writeTrace(path string, tr *vtrace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // watchLoop schedules a per-virtual-second snapshot of every vCPU: probed
 // capacity and latency next to the physical truth (host thread, entity
 // state), plus guest queue depth — a "top" for the simulation.
-func watchLoop(cl *vsched.Cluster, vm *vsched.VM, sched *vsched.VSched, until vsched.Duration) {
+func watchLoop(w io.Writer, cl *vsched.Cluster, vm *vsched.VM, sched *vsched.VSched, until vsched.Duration) {
 	eng := cl.Engine()
 	var snap func()
 	snap = func() {
-		fmt.Printf("--- t=%v ---\n", eng.Now())
-		fmt.Printf("%-5s %-9s %-11s %-8s %-7s %-10s %s\n",
+		fmt.Fprintf(w, "--- t=%v ---\n", eng.Now())
+		fmt.Fprintf(w, "%-5s %-9s %-11s %-8s %-7s %-10s %s\n",
 			"vcpu", "probedCap", "probedLat", "rqlen", "curr", "entState", "thread(skt/core/slot)")
 		for i := 0; i < vm.NumVCPUs(); i++ {
 			v := vm.VCPU(i)
@@ -195,7 +246,7 @@ func watchLoop(cl *vsched.Cluster, vm *vsched.VM, sched *vsched.VSched, until vs
 				}
 			}
 			th := v.Entity().Thread()
-			fmt.Printf("%-5d %-9d %-11v %-8d %-7s %-10v %d/%d/%d\n",
+			fmt.Fprintf(w, "%-5d %-9d %-11v %-8d %-7s %-10v %d/%d/%d\n",
 				i, v.Capacity(), v.Latency(), v.RunqueueLen(), curr,
 				v.Entity().State(), th.Socket(), th.Core(), th.Slot())
 		}
@@ -206,7 +257,7 @@ func watchLoop(cl *vsched.Cluster, vm *vsched.VM, sched *vsched.VSched, until vs
 				stacks = append(stacks, fmt.Sprint(g))
 			}
 			if len(stacks) > 0 {
-				fmt.Println("stacked groups:", strings.Join(stacks, " "))
+				fmt.Fprintln(w, "stacked groups:", strings.Join(stacks, " "))
 			}
 		}
 		if eng.Now() < vsched.Time(until) {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenArgs is a small fixed-seed scenario; everything on stdout must be a
+// pure function of these flags.
+var goldenArgs = []string{
+	"-workload", "nginx", "-vcpus", "2", "-share", "0.5", "-vsched",
+	"-duration", "2s", "-warmup", "1s", "-seed", "7", "-metrics",
+}
+
+// TestMetricsGolden pins the -metrics output (and the whole stdout report)
+// for a fixed scenario. Wall-clock noise goes to stderr, so this is an exact
+// byte comparison. Regenerate with: go test ./cmd/vschedsim -run Golden -update
+func TestMetricsGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(goldenArgs, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("stdout diverged from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, stdout.String(), want)
+	}
+	if !strings.Contains(stdout.String(), "guest.context_switches") {
+		t.Fatal("metrics snapshot missing guest counters")
+	}
+	if !strings.Contains(stdout.String(), "vsched.bvs.calls") {
+		t.Fatal("metrics snapshot missing vsched counters")
+	}
+}
+
+// TestTraceFileDeterministic runs the same traced scenario twice and requires
+// byte-identical Chrome JSON — the CLI-level version of the exporter's
+// determinism contract.
+func TestTraceFileDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	capture := func(name string) []byte {
+		path := filepath.Join(dir, name)
+		args := append([]string{"-trace", path}, goldenArgs...)
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "vtrace:") {
+			t.Fatalf("no trace summary on stderr:\n%s", stderr.String())
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := capture("a.json"), capture("b.json")
+	if len(a) == 0 {
+		t.Fatal("empty trace file")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("trace files differ across identical runs")
+	}
+	for _, want := range []string{`"cat":"host"`, `"cat":"guest"`, `"cat":"vsched"`, `"displayTimeUnit":"ms"`} {
+		if !bytes.Contains(a, []byte(want)) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+}
+
+// TestUnknownFlagFails checks flag errors exit non-zero without touching
+// stdout.
+func TestUnknownFlagFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown flag accepted")
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("error path wrote to stdout: %s", stdout.String())
+	}
+}

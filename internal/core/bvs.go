@@ -3,6 +3,7 @@ package core
 import (
 	"vsched/internal/guest"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // bvsSelect implements biased vCPU selection (§3.2, Fig. 8): small
@@ -25,7 +26,7 @@ func (s *VSched) bvsSelect(t *guest.Task, prev *guest.VCPU) *guest.VCPU {
 	if !t.LatencySensitive || t.Util() > s.params.SmallTaskUtil {
 		return nil
 	}
-	s.bvsCalls++
+	s.bvsCalls.Inc()
 	if bvsDebug != nil {
 		defer func() { bvsDebug(s, t) }()
 	}
@@ -41,29 +42,38 @@ func (s *VSched) bvsSelect(t *guest.Task, prev *guest.VCPU) *guest.VCPU {
 	// best-fit ablation instead scans everything and picks the acceptable
 	// vCPU with the lowest probed latency.
 	var best *guest.VCPU
+	var scanned int64
+	var candMask int64 // vCPUs (id < 64) passing the capacity filter
 	for k := 0; k < n; k++ {
 		v := s.vm.VCPU((start + k) % n)
 		if !s.allowedForTask(t, v) {
 			continue
 		}
+		scanned++
 		// High-capacity filter with 10% tolerance: measurement noise must
 		// not disqualify vCPUs effectively at the median.
 		if v.Capacity()*10 < medCap*9 {
 			continue
 		}
+		if v.ID() < 64 {
+			candMask |= 1 << v.ID()
+		}
 		if s.bvsAcceptable(v, lowLat) {
 			if !s.bvsBestFit {
-				s.bvsHits++
-				return v
+				best = v
+				break
 			}
 			if best == nil || v.Latency() < best.Latency() {
 				best = v
 			}
 		}
 	}
+	chosen := int64(-1)
 	if best != nil {
-		s.bvsHits++
+		s.bvsHits.Inc()
+		chosen = int64(best.ID())
 	}
+	s.tracer().Emit(s.eng.Now(), vtrace.KindBVSPlace, t.Name(), chosen, scanned, candMask)
 	return best
 }
 

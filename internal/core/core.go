@@ -15,7 +15,9 @@ import (
 
 	"vsched/internal/cachemodel"
 	"vsched/internal/guest"
+	"vsched/internal/metrics"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // Params are the vSched tunables (Table 1 of the paper) plus classification
@@ -114,8 +116,9 @@ type VSched struct {
 	// bvsStateCheck gates Fig. 8's vCPU-state conditions; disabling it gives
 	// the "bvs (no state check)" ablation of Table 3.
 	bvsStateCheck bool
-	// bvsCalls/bvsHits count hook invocations and first-fit successes.
-	bvsCalls, bvsHits uint64
+	// bvsCalls/bvsHits count hook invocations and first-fit successes,
+	// registered in the VM's metrics registry.
+	bvsCalls, bvsHits *metrics.Counter
 	// bvsBestFit switches the first-fit search to an exhaustive best-fit
 	// scan (ablation).
 	bvsBestFit bool
@@ -141,6 +144,8 @@ func New(vm *guest.VM, features Features, params Params, model cachemodel.Model)
 		model:         model,
 		bvsStateCheck: true,
 	}
+	s.bvsCalls = vm.Metrics().Counter("vsched.bvs.calls")
+	s.bvsHits = vm.Metrics().Counter("vsched.bvs.hits")
 	s.userGroup = vm.NewGroup("vsched-user")
 	s.beGroup = vm.NewGroup("vsched-be")
 	s.proberGroup = vm.NewGroup("vsched-probers")
@@ -171,7 +176,17 @@ func (s *VSched) BEGroup() *guest.CGroup { return s.beGroup }
 func (s *VSched) Vtop() *Vtop { return s.vtop }
 
 // IVHStats returns counters of ivh's migration protocol.
-func (s *VSched) IVHStats() IVHStats { return s.ivh.stats }
+func (s *VSched) IVHStats() IVHStats {
+	return IVHStats{
+		Attempts:  s.ivh.attempts.Value(),
+		Migrated:  s.ivh.migrated.Value(),
+		Abandoned: s.ivh.abandoned.Value(),
+	}
+}
+
+// tracer returns the managed VM's event tracer (nil when tracing is off);
+// every emit site goes through it so tracing can be flipped per VM.
+func (s *VSched) tracer() *vtrace.Tracer { return s.vm.Tracer() }
 
 // SetIVHActivityAware toggles the pre-wake protocol (Table 4's ablation);
 // default true.
@@ -183,7 +198,9 @@ func (s *VSched) SetBVSStateCheck(check bool) { s.bvsStateCheck = check }
 
 // BVSStats returns how often the bvs hook ran and how often its first-fit
 // search produced a placement (vs falling back to CFS).
-func (s *VSched) BVSStats() (calls, hits uint64) { return s.bvsCalls, s.bvsHits }
+func (s *VSched) BVSStats() (calls, hits uint64) {
+	return s.bvsCalls.Value(), s.bvsHits.Value()
+}
 
 // SetBVSBestFit switches bvs to an exhaustive best-fit scan instead of the
 // paper's first-fit policy (ablation).

@@ -2,7 +2,9 @@ package core
 
 import (
 	"vsched/internal/guest"
+	"vsched/internal/metrics"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // ivh implements intra-VM harvesting (§3.3): proactive migration of
@@ -20,7 +22,8 @@ type ivh struct {
 	activityAware bool
 	inflight      map[int]uint64 // source vCPU id -> live attempt id
 	attemptSeq    uint64
-	stats         IVHStats
+	// Protocol outcome counters, registered in the VM's metrics registry.
+	attempts, migrated, abandoned *metrics.Counter
 }
 
 // IVHStats counts protocol outcomes.
@@ -29,6 +32,13 @@ type IVHStats struct {
 	Migrated  uint64
 	Abandoned uint64
 }
+
+// Trace payload values for KindIVH's A0.
+const (
+	ivhOutcomeAttempt   = 0
+	ivhOutcomeMigrated  = 1
+	ivhOutcomeAbandoned = 2
+)
 
 const (
 	stopperCost = 15 * sim.Microsecond // stopper thread round trip
@@ -39,7 +49,21 @@ const (
 )
 
 func newIVH(s *VSched) *ivh {
-	return &ivh{s: s, activityAware: true, inflight: make(map[int]uint64)}
+	reg := s.vm.Metrics()
+	return &ivh{
+		s:             s,
+		activityAware: true,
+		inflight:      make(map[int]uint64),
+		attempts:      reg.Counter("vsched.ivh.attempts"),
+		migrated:      reg.Counter("vsched.ivh.migrated"),
+		abandoned:     reg.Counter("vsched.ivh.abandoned"),
+	}
+}
+
+// emit records one protocol step in the trace (no-op when tracing is off).
+func (h *ivh) emit(outcome int64, src, dst *guest.VCPU, t *guest.Task) {
+	h.s.tracer().Emit(h.s.eng.Now(), vtrace.KindIVH, t.Name(),
+		outcome, int64(src.ID()), int64(dst.ID()))
 }
 
 // onTick is installed as the guest tick hook; it runs on every tick of every
@@ -68,7 +92,8 @@ func (h *ivh) onTick(v *guest.VCPU) {
 	if dst == nil {
 		return
 	}
-	h.stats.Attempts++
+	h.attempts.Inc()
+	h.emit(ivhOutcomeAttempt, v, dst, t)
 	h.attemptSeq++
 	id := h.attemptSeq
 	h.inflight[v.ID()] = id
@@ -78,9 +103,11 @@ func (h *ivh) onTick(v *guest.VCPU) {
 		h.s.eng.After(stopperCost, func() {
 			delete(h.inflight, v.ID())
 			if h.s.vm.PullRunning(v, dst, t) {
-				h.stats.Migrated++
+				h.migrated.Inc()
+				h.emit(ivhOutcomeMigrated, v, dst, t)
 			} else {
-				h.stats.Abandoned++
+				h.abandoned.Inc()
+				h.emit(ivhOutcomeAbandoned, v, dst, t)
 			}
 		})
 		return
@@ -102,16 +129,19 @@ func (h *ivh) onTick(v *guest.VCPU) {
 			}
 			delete(h.inflight, v.ID())
 			if h.s.vm.PullRunning(v, dst, t) {
-				h.stats.Migrated++
+				h.migrated.Inc()
+				h.emit(ivhOutcomeMigrated, v, dst, t)
 			} else {
-				h.stats.Abandoned++
+				h.abandoned.Inc()
+				h.emit(ivhOutcomeAbandoned, v, dst, t)
 			}
 		})
 	})
 	h.s.eng.After(pullTimeout, func() {
 		if h.inflight[v.ID()] == id {
 			delete(h.inflight, v.ID())
-			h.stats.Abandoned++
+			h.abandoned.Inc()
+			h.emit(ivhOutcomeAbandoned, v, dst, t)
 		}
 	})
 }

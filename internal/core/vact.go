@@ -3,6 +3,7 @@ package core
 import (
 	"vsched/internal/guest"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // vact probes vCPU activity (§3.1): the average inactive period ("vCPU
@@ -62,4 +63,6 @@ func (a *vact) onSample(v *guest.VCPU, stealD, period sim.Duration) {
 		sim.Duration(pv.activeEMA),
 		sim.Duration(pv.inactiveEMA),
 	)
+	a.s.tracer().Emit(a.s.eng.Now(), vtrace.KindActSample, "vact",
+		int64(v.ID()), int64(pv.latencyEMA), int64(pv.activeEMA))
 }

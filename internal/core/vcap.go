@@ -5,6 +5,7 @@ import (
 
 	"vsched/internal/guest"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // vcap probes dynamic vCPU capacity with cooperative, multi-phase sampling
@@ -168,6 +169,8 @@ func (c *vcap) endWindow() {
 				capv = 1
 			}
 			pv.v.PublishCapacity(capv)
+			c.s.tracer().Emit(c.s.eng.Now(), vtrace.KindCapSample, "vcap",
+				int64(pv.v.ID()), capv, int64(share*1024))
 		}
 
 		// vact piggybacks on the sampling window (§3.1): the preemption

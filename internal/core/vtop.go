@@ -8,6 +8,7 @@ import (
 	"vsched/internal/guest"
 	"vsched/internal/host"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // Vtop probes the vCPU topology (§3.1) by measuring cache line transfer
@@ -317,6 +318,8 @@ func (t *Vtop) FullProbe(done func()) {
 			t.s.rwc.onTopologyUpdate()
 		}
 		t.lastFull = t.s.eng.Now().Sub(start)
+		t.s.tracer().Emit(t.s.eng.Now(), vtrace.KindVtop, "vtop",
+			0, int64(t.lastFull), 1)
 		t.probing = false
 		if done != nil {
 			done()
@@ -497,6 +500,8 @@ func (t *Vtop) Validate(done func(ok bool)) {
 	checks := t.buildChecks()
 	if len(checks) == 0 {
 		t.lastValidate = t.s.eng.Now().Sub(start)
+		t.s.tracer().Emit(t.s.eng.Now(), vtrace.KindVtop, "vtop",
+			1, int64(t.lastValidate), 1)
 		t.probing = false
 		done(true)
 		return
@@ -507,6 +512,12 @@ func (t *Vtop) Validate(done func(ok bool)) {
 	runWave = func(w int) {
 		if w >= len(waves) {
 			t.lastValidate = t.s.eng.Now().Sub(start)
+			confirmed := int64(0)
+			if allOK {
+				confirmed = 1
+			}
+			t.s.tracer().Emit(t.s.eng.Now(), vtrace.KindVtop, "vtop",
+				1, int64(t.lastValidate), confirmed)
 			t.probing = false
 			done(allOK)
 			return

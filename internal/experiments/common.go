@@ -15,6 +15,7 @@ import (
 	"vsched/internal/core"
 	"vsched/internal/guest"
 	"vsched/internal/host"
+	"vsched/internal/metrics"
 	"vsched/internal/sim"
 	"vsched/internal/workload"
 )
@@ -35,13 +36,21 @@ type Options struct {
 	Stats *Stats
 }
 
-// Stats collects the engines one experiment run builds. The run itself
-// registers engines from its own goroutine; Interrupt and the read accessors
-// may be called from another goroutine, hence the lock.
+// Stats collects the engines and metrics registries one experiment run
+// builds. The run itself registers from its own goroutine; Interrupt and the
+// read accessors may be called from another goroutine, hence the lock.
 type Stats struct {
 	mu          sync.Mutex
 	engines     []*sim.Engine
 	interrupted bool
+	regs        []labeledRegistry
+	regSeen     map[string]int
+}
+
+// labeledRegistry is one VM's metrics registry under a run-unique label.
+type labeledRegistry struct {
+	label string
+	reg   *metrics.Registry
 }
 
 // Track registers an engine. A nil receiver is a no-op, so call sites do not
@@ -69,6 +78,49 @@ func (s *Stats) Interrupt() {
 	for _, e := range s.engines {
 		e.Interrupt()
 	}
+}
+
+// TrackRegistry registers a VM's metrics registry under label. Labels repeat
+// across the VMs an experiment deploys; repeats get a deterministic #n suffix
+// (registration order is fixed because each trial runs one goroutine). A nil
+// receiver is a no-op.
+func (s *Stats) TrackRegistry(label string, reg *metrics.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.regSeen == nil {
+		s.regSeen = make(map[string]int)
+	}
+	n := s.regSeen[label]
+	s.regSeen[label] = n + 1
+	if n > 0 {
+		label = fmt.Sprintf("%s#%d", label, n+1)
+	}
+	s.regs = append(s.regs, labeledRegistry{label: label, reg: reg})
+}
+
+// MetricsSnapshot flattens every tracked registry into one label-prefixed
+// map (nil when nothing was tracked). Only call after the run's goroutine
+// has finished: the instruments themselves are not synchronised.
+func (s *Stats) MetricsSnapshot() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out map[string]float64
+	for _, lr := range s.regs {
+		flat := lr.reg.Snapshot().Flatten()
+		if len(flat) > 0 && out == nil {
+			out = make(map[string]float64, len(flat)*len(s.regs))
+		}
+		for k, v := range flat {
+			out[lr.label+"."+k] = v
+		}
+	}
+	return out
 }
 
 // Engines returns how many engines the run built.
@@ -206,6 +258,7 @@ func Registry() []Runner {
 		{"fig19", "Overall improvement on hpvm", Fig19},
 		{"fig20", "Cost of vSched", Fig20},
 		{"fig21", "Overhead when abstraction is already accurate", Fig21},
+		{"probeacc", "Prober accuracy vs host ground truth", ProbeAccuracy},
 	}
 }
 
@@ -247,8 +300,9 @@ func (c Config) String() string {
 
 // cluster is a host under construction.
 type cluster struct {
-	eng *sim.Engine
-	h   *host.Host
+	eng   *sim.Engine
+	h     *host.Host
+	stats *Stats
 }
 
 // newCluster builds a host; nominal speed 2.0 cycles/ns, SMT and turbo on.
@@ -260,7 +314,7 @@ func newCluster(o Options, sockets, cores, threadsPer int) *cluster {
 	cfg.Sockets = sockets
 	cfg.CoresPerSocket = cores
 	cfg.ThreadsPerCore = threadsPer
-	return &cluster{eng: eng, h: host.New(eng, cfg)}
+	return &cluster{eng: eng, h: host.New(eng, cfg), stats: o.Stats}
 }
 
 // newFlatCluster builds a host without SMT/turbo speed effects — used by
@@ -274,7 +328,7 @@ func newFlatCluster(o Options, sockets, cores, threadsPer int) *cluster {
 	cfg.ThreadsPerCore = threadsPer
 	cfg.SMTFactor = 1.0
 	cfg.TurboFactor = 1.0
-	return &cluster{eng: eng, h: host.New(eng, cfg)}
+	return &cluster{eng: eng, h: host.New(eng, cfg), stats: o.Stats}
 }
 
 func (c *cluster) threads(idx ...int) []*host.Thread {
@@ -302,6 +356,7 @@ type deployment struct {
 // deploy builds and starts a VM on the given threads under a configuration.
 func deploy(c *cluster, name string, threads []*host.Thread, cfg Config) *deployment {
 	vm := guest.NewVM(c.h, name, threads, guest.DefaultParams())
+	c.stats.TrackRegistry(name, vm.Metrics())
 	vm.Start()
 	d := &deployment{vm: vm}
 	if cfg != CFS {
@@ -321,6 +376,7 @@ func deploy(c *cluster, name string, threads []*host.Thread, cfg Config) *deploy
 // isolating single probers/techniques).
 func deployFeatures(c *cluster, name string, threads []*host.Thread, feats core.Features) *deployment {
 	vm := guest.NewVM(c.h, name, threads, guest.DefaultParams())
+	c.stats.TrackRegistry(name, vm.Metrics())
 	vm.Start()
 	p := core.DefaultParams()
 	p.NominalSpeed = c.h.Config().BaseSpeed

@@ -1,6 +1,9 @@
 package guest
 
-import "vsched/internal/sim"
+import (
+	"vsched/internal/sim"
+	"vsched/internal/vtrace"
+)
 
 // Load balancing: new-idle pulls, periodic in-domain and cross-domain
 // balancing, misfit (active) migration, and cgroup-mask enforcement. Like
@@ -79,6 +82,7 @@ func (vm *VM) periodicBalance() {
 	vm.capacityPressurePass()
 	vm.smtBalancePass()
 	vm.maskEnforcePass()
+	vm.tr.Emit(vm.eng.Now(), vtrace.KindBalance, vm.name, int64(vm.ctr.migrations.Value()), 0, 0)
 }
 
 // smtBalancePass un-stacks heavy tasks from fully busy believed cores onto

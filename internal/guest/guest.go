@@ -6,7 +6,9 @@ import (
 
 	"vsched/internal/cachemodel"
 	"vsched/internal/host"
+	"vsched/internal/metrics"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // Params are the guest scheduler tunables (Linux-like defaults).
@@ -69,6 +71,14 @@ type Stats struct {
 	Ticks            uint64
 }
 
+// guestCounters caches the registry instruments backing Stats, so the hot
+// path is a pointer increment with no map lookups.
+type guestCounters struct {
+	wakeups, ipis, crossIPIs     *metrics.Counter
+	migrations, activeMigrations *metrics.Counter
+	contextSwitches, ticks       *metrics.Counter
+}
+
 // VM is a guest virtual machine: vCPUs pinned on host threads plus the guest
 // scheduler.
 type VM struct {
@@ -80,7 +90,9 @@ type VM struct {
 	topo   Belief
 	hooks  Hooks
 	root   *CGroup
-	stats  Stats
+	reg    *metrics.Registry
+	ctr    guestCounters
+	tr     *vtrace.Tracer
 
 	taskSeq      int
 	lastBalance  sim.Time
@@ -105,6 +117,16 @@ func NewVM(h *host.Host, name string, threads []*host.Thread, params Params) *VM
 		params:  params,
 		topo:    DefaultBelief(len(threads)),
 		llcLoad: make([]float64, h.Config().Sockets),
+	}
+	vm.reg = metrics.NewRegistry()
+	vm.ctr = guestCounters{
+		wakeups:          vm.reg.Counter("guest.wakeups"),
+		ipis:             vm.reg.Counter("guest.ipis"),
+		crossIPIs:        vm.reg.Counter("guest.ipis_cross"),
+		migrations:       vm.reg.Counter("guest.migrations"),
+		activeMigrations: vm.reg.Counter("guest.migrations_active"),
+		contextSwitches:  vm.reg.Counter("guest.context_switches"),
+		ticks:            vm.reg.Counter("guest.ticks"),
 	}
 	vm.root = &CGroup{name: "root", allowed: fullMask(len(threads))}
 	for i, th := range threads {
@@ -137,7 +159,29 @@ func (vm *VM) VCPU(i int) *VCPU { return vm.vcpus[i] }
 func (vm *VM) VCPUs() []*VCPU { return vm.vcpus }
 
 // Stats returns a snapshot of scheduler counters.
-func (vm *VM) Stats() Stats { return vm.stats }
+func (vm *VM) Stats() Stats {
+	return Stats{
+		Wakeups:          vm.ctr.wakeups.Value(),
+		IPIs:             vm.ctr.ipis.Value(),
+		CrossIPIs:        vm.ctr.crossIPIs.Value(),
+		Migrations:       vm.ctr.migrations.Value(),
+		ActiveMigrations: vm.ctr.activeMigrations.Value(),
+		ContextSwitches:  vm.ctr.contextSwitches.Value(),
+		Ticks:            vm.ctr.ticks.Value(),
+	}
+}
+
+// Metrics returns the VM's metrics registry. The guest scheduler registers
+// its counters under "guest."; vSched adds its own under "vsched." when
+// attached to this VM.
+func (vm *VM) Metrics() *metrics.Registry { return vm.reg }
+
+// SetTracer attaches a structured event tracer (nil to disable, the
+// default). Call before Start.
+func (vm *VM) SetTracer(tr *vtrace.Tracer) { vm.tr = tr }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (vm *VM) Tracer() *vtrace.Tracer { return vm.tr }
 
 // TotalCycles returns the cycles executed by the whole VM (all vCPUs, all
 // tasks including probers) — the Fig. 20 cost metric.
@@ -259,8 +303,9 @@ func (vm *VM) Spawn(name string, b Behavior, opts ...TaskOpt) *Task {
 		first = vm.selectCPUFork(t)
 	}
 	t.cpu = first
-	vm.stats.Wakeups++
+	vm.ctr.wakeups.Inc()
 	t.wakeups++
+	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskWakeup, t.name, int64(t.id), int64(first.id), 0)
 	vm.enqueue(first, t, nil)
 	return t
 }
@@ -281,7 +326,7 @@ func (vm *VM) wakeTaskWide(t *Task, waker *VCPU, wide bool) {
 	if t.state != TaskSleeping || t.exited {
 		return
 	}
-	vm.stats.Wakeups++
+	vm.ctr.wakeups.Inc()
 	t.wakeups++
 	affineWaker := waker
 	if wide {
@@ -298,6 +343,7 @@ func (vm *VM) wakeTaskWide(t *Task, waker *VCPU, wide bool) {
 			t.commDebt += vm.params.CommPenaltyCross
 		}
 	}
+	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskWakeup, t.name, int64(t.id), int64(target.id), 0)
 	vm.enqueue(target, t, waker)
 }
 
@@ -374,17 +420,17 @@ func (vm *VM) DeliverIRQ(v *VCPU, fn func()) {
 // interrupt context) to target, tracking cross-socket IPIs separately —
 // those are the expensive ones Fig. 13 counts.
 func (vm *VM) countIPI(waker, target *VCPU) {
-	vm.stats.IPIs++
+	vm.ctr.ipis.Inc()
 	if waker != nil &&
 		waker.ent.Thread().Socket() != target.ent.Thread().Socket() {
-		vm.stats.CrossIPIs++
+		vm.ctr.crossIPIs.Inc()
 	}
 }
 
 // KickVCPU sends a wakeup IPI to a halted vCPU (a legitimate guest
 // operation; ivh uses it to pre-wake migration targets).
 func (vm *VM) KickVCPU(v *VCPU) {
-	vm.stats.IPIs++
+	vm.ctr.ipis.Inc()
 	if v.ent.State() == host.Blocked {
 		v.ent.Wake()
 	}
@@ -564,7 +610,8 @@ func (vm *VM) advance(t *Task) {
 			}
 			t.remaining = 0
 			t.vruntime = t.vruntime - v.minVruntime + dst.minVruntime
-			vm.stats.Migrations++
+			vm.ctr.migrations.Inc()
+			vm.tr.Emit(now, vtrace.KindTaskMigrate, t.name, int64(t.id), int64(v.id), int64(dst.id))
 			vm.enqueue(dst, t, v)
 			v.dispatch()
 			return
@@ -666,7 +713,8 @@ func (vm *VM) MigrateQueued(t *Task, dst *VCPU) {
 	t.vruntime = t.vruntime - src.minVruntime + dst.minVruntime
 	t.lastMigrate = vm.eng.Now()
 	vm.chargeMigrationCost(t, src, dst)
-	vm.stats.Migrations++
+	vm.ctr.migrations.Inc()
+	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskMigrate, t.name, int64(t.id), int64(src.id), int64(dst.id))
 	vm.enqueue(dst, t, nil)
 }
 
@@ -691,8 +739,9 @@ func (vm *VM) PullRunning(src, dst *VCPU, t *Task) bool {
 	t.vruntime = t.vruntime - src.minVruntime + dst.minVruntime
 	t.lastMigrate = vm.eng.Now()
 	vm.chargeMigrationCost(t, src, dst)
-	vm.stats.Migrations++
-	vm.stats.ActiveMigrations++
+	vm.ctr.migrations.Inc()
+	vm.ctr.activeMigrations.Inc()
+	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskMigrate, t.name, int64(t.id), int64(src.id), int64(dst.id))
 	vm.enqueue(dst, t, src)
 	src.dispatch()
 	return true

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // TaskState is the guest-scheduler state of a task.
@@ -202,6 +203,13 @@ func (t *Task) SetWeight(w int64) {
 // (sched_setscheduler). vcap's probers switch between best-effort (light
 // sampling) and elevated priority (heavy sampling) this way.
 func (t *Task) SetIdlePolicy(idle bool, weight int64) {
+	if t.idlePolicy != idle {
+		into := int64(0)
+		if idle {
+			into = 1
+		}
+		t.vm.tr.Emit(t.vm.eng.Now(), vtrace.KindIdlePolicy, t.name, int64(t.id), into, 0)
+	}
 	t.idlePolicy = idle
 	if weight > 0 {
 		t.weight = weight

@@ -5,6 +5,7 @@ import (
 
 	"vsched/internal/host"
 	"vsched/internal/sim"
+	"vsched/internal/vtrace"
 )
 
 // VCPU is a virtual CPU: a guest runqueue layered on a host entity.
@@ -104,6 +105,7 @@ func (v *VCPU) uninstallCurr() {
 	if t.footprint > 0 {
 		v.vm.llcLoad[v.llcSocket] -= t.footprint
 	}
+	v.vm.tr.Emit(v.vm.eng.Now(), vtrace.KindTaskOff, t.name, int64(v.id), int64(t.id), 0)
 	v.curr = nil
 }
 
@@ -375,7 +377,7 @@ func (v *VCPU) tick() {
 		}
 	}
 
-	v.vm.stats.Ticks++
+	v.vm.ctr.ticks.Inc()
 
 	// Refresh the LLC-contention factor and re-aim the completion event if
 	// the socket's cache pressure changed.
@@ -503,7 +505,8 @@ func (v *VCPU) install(t *Task) {
 	}
 	v.refreshLLC()
 	v.execMark = now
-	v.vm.stats.ContextSwitches++
+	v.vm.ctr.contextSwitches.Inc()
+	v.vm.tr.Emit(now, vtrace.KindTaskOn, t.name, int64(v.id), int64(t.id), 0)
 	v.scheduleCompletion()
 }
 

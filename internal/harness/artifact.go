@@ -57,6 +57,7 @@ type artifactTrial struct {
 	Engines    int                 `json:"engines"`
 	Err        string              `json:"err,omitempty"`
 	TimedOut   bool                `json:"timed_out,omitempty"`
+	Metrics    map[string]float64  `json:"metrics,omitempty"`
 	Report     *experiments.Report `json:"report,omitempty"`
 }
 
@@ -108,6 +109,7 @@ func (r *Result) WriteArtifact(w io.Writer) error {
 				Engines:    t.Engines,
 				Err:        t.Err,
 				TimedOut:   t.TimedOut,
+				Metrics:    t.Metrics,
 				Report:     t.Report,
 			}); err != nil {
 				return err

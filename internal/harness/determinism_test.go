@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
 
 	"vsched/internal/experiments"
@@ -38,6 +39,22 @@ func TestParallelMatchesSerialFastSubset(t *testing.T) {
 	}
 	if serial.EventsFired() != parallel.EventsFired() {
 		t.Fatalf("event totals differ: %d vs %d", serial.EventsFired(), parallel.EventsFired())
+	}
+	// Per-trial metrics snapshots are part of the determinism contract too:
+	// the parallel path must embed the exact counter values the serial path
+	// saw, experiment by experiment, replicate by replicate.
+	for i := range serial.Experiments {
+		se, pe := serial.Experiments[i], parallel.Experiments[i]
+		for j := range se.Trials {
+			sm, pm := se.Trials[j].Metrics, pe.Trials[j].Metrics
+			if len(sm) == 0 {
+				t.Fatalf("%s trial %d captured no metrics", se.ID, j)
+			}
+			if !reflect.DeepEqual(sm, pm) {
+				t.Fatalf("%s trial %d metrics differ between serial and parallel:\n%v\nvs\n%v",
+					se.ID, j, sm, pm)
+			}
+		}
 	}
 }
 

@@ -94,6 +94,10 @@ type TrialResult struct {
 	// over every engine it built; Engines is how many it built.
 	Events  uint64
 	Engines int
+	// Metrics is the flattened snapshot of every VM metrics registry the
+	// trial built, keyed "<vm-label>.<instrument>"; nil when the trial
+	// deployed no VMs or was abandoned.
+	Metrics map[string]float64
 }
 
 // OK reports whether the trial produced a report.
@@ -263,6 +267,7 @@ func runTrial(slot *TrialResult, r experiments.Runner, cfg Config) {
 		slot.WallTime = time.Since(start)
 		slot.Events = stats.EventsFired()
 		slot.Engines = stats.Engines()
+		slot.Metrics = stats.MetricsSnapshot()
 		slot.TimedOut = timedOut
 		switch {
 		case timedOut:

@@ -97,9 +97,17 @@ type Entity struct {
 	preemptions uint64       // involuntary Running -> Runnable/Throttled
 	resumes     uint64       // transitions into Running
 
-	// Observer, if set, is called after every state transition; the trace
-	// package uses it to build timelines.
-	Observer func(now sim.Time, from, to EntityState)
+	// observers are called after every state transition, in attach order.
+	// The vtrace package uses them to build timelines and event traces.
+	observers []func(now sim.Time, from, to EntityState)
+}
+
+// AddObserver registers a state-transition callback. Multiple observers may
+// attach to one entity; each sees every transition, in attach order.
+// Observers must not synchronously change schedulability (same contract as
+// Client callbacks).
+func (e *Entity) AddObserver(fn func(now sim.Time, from, to EntityState)) {
+	e.observers = append(e.observers, fn)
 }
 
 // NewEntity registers a new schedulable entity homed on thread t. It starts
@@ -200,8 +208,11 @@ func (e *Entity) setState(to EntityState) {
 	if from == Running && (to == Runnable || to == Throttled) {
 		e.preemptions++
 	}
-	if e.Observer != nil {
-		e.Observer(now, from, to)
+	for _, fn := range e.observers {
+		fn(now, from, to)
+	}
+	if e.host.observer != nil {
+		e.host.observer(e, now, from, to)
 	}
 }
 

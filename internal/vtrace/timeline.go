@@ -1,6 +1,4 @@
-// Package trace records entity state timelines (the KernelShark-style view
-// used by Fig. 3) and renders them as ASCII strips.
-package trace
+package vtrace
 
 import (
 	"strings"
@@ -15,7 +13,8 @@ type Transition struct {
 	From, To host.EntityState
 }
 
-// Timeline is the recorded state history of one entity.
+// Timeline is the recorded state history of one entity — the
+// KernelShark-style view used by Fig. 3, rendered as ASCII strips.
 type Timeline struct {
 	Name    string
 	Initial host.EntityState
@@ -24,12 +23,13 @@ type Timeline struct {
 
 // Attach starts recording an entity's transitions. It must be called before
 // the entity's first transition of interest; recording lasts for the
-// entity's lifetime.
+// entity's lifetime. Attaching multiple timelines (or a timeline next to an
+// event tracer) is fine: observers stack.
 func Attach(e *host.Entity) *Timeline {
 	tl := &Timeline{Name: e.Name(), Initial: e.State()}
-	e.Observer = func(now sim.Time, from, to host.EntityState) {
+	e.AddObserver(func(now sim.Time, from, to host.EntityState) {
 		tl.Events = append(tl.Events, Transition{At: now, From: from, To: to})
-	}
+	})
 	return tl
 }
 

@@ -1,0 +1,250 @@
+// Package vtrace is the structured, deterministic event-tracing layer of the
+// simulator. A ring-buffered Tracer records typed events from all four
+// layers — host scheduler (entity state transitions, preemptions,
+// throttling, steal intervals), guest scheduler (wakeups, context switches,
+// migrations, balance passes, SCHED_IDLE policy moves), and vSched
+// (vCap/vAct probe samples, bvs placements, ivh interventions, vtop
+// updates) — each stamped with virtual time.
+//
+// Everything is built for two properties:
+//
+//   - Zero cost when off. Every emit method is safe on a nil *Tracer and
+//     returns immediately; events are fixed-size values in a preallocated
+//     ring, so even an enabled tracer allocates nothing per event. Subjects
+//     are interned strings the emitting layer already holds (entity and task
+//     names), never formatted on the hot path.
+//   - Determinism. Events carry only virtual time and deterministic
+//     payloads, so a traced run exports byte-identical output across
+//     repeated runs with the same seed.
+//
+// Exports: Chrome Trace Event Format JSON (load in Perfetto or
+// chrome://tracing, see export.go) and an ASCII summary.
+package vtrace
+
+import (
+	"vsched/internal/host"
+	"vsched/internal/sim"
+)
+
+// Kind is the type tag of an event.
+type Kind uint8
+
+const (
+	// KindEntityState: host entity changed scheduling state.
+	// A0=from, A1=to (host.EntityState).
+	KindEntityState Kind = iota
+	// KindPreempt: involuntary Running->Runnable/Throttled descheduling.
+	// A0=to state.
+	KindPreempt
+	// KindThrottle / KindUnthrottle: CPU bandwidth quota exhausted/refilled.
+	KindThrottle
+	KindUnthrottle
+	// KindSteal: an entity left a steal state (Runnable/Throttled) after A0
+	// nanoseconds wanting the CPU without running.
+	KindSteal
+	// KindTaskWakeup: guest task became runnable. A0=task id, A1=target vCPU.
+	KindTaskWakeup
+	// KindTaskOn / KindTaskOff: task installed on / removed from vCPU A0
+	// (guest context switch halves). A1=task id.
+	KindTaskOn
+	KindTaskOff
+	// KindTaskMigrate: task moved between vCPUs. A0=task id, A1=src, A2=dst.
+	KindTaskMigrate
+	// KindBalance: periodic load-balance pass ran. A0=migrations so far.
+	KindBalance
+	// KindIdlePolicy: task moved into (A1=1) or out of (A1=0) SCHED_IDLE.
+	// A0=task id.
+	KindIdlePolicy
+	// KindCapSample: vcap published a capacity sample for vCPU A0.
+	// A1=published capacity (1024=nominal), A2=window share in 1/1024 units.
+	KindCapSample
+	// KindActSample: vact published activity for vCPU A0. A1=latency ns
+	// (average inactive period), A2=average active period ns.
+	KindActSample
+	// KindBVSPlace: bvs hook decision for a task. A0=chosen vCPU (-1 = CFS
+	// fallback), A1=candidates scanned, A2=bitmask of vCPUs (id<64) that
+	// passed the capacity filter.
+	KindBVSPlace
+	// KindIVH: harvesting protocol step. A0=outcome (0=attempt, 1=migrated,
+	// 2=abandoned), A1=src vCPU, A2=dst vCPU.
+	KindIVH
+	// KindVtop: topology prober finished a pass. A0=0 full probe / 1
+	// validation, A1=duration ns, A2=1 when the belief was confirmed (full
+	// probes always publish).
+	KindVtop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEntityState:
+		return "entity-state"
+	case KindPreempt:
+		return "preempt"
+	case KindThrottle:
+		return "throttle"
+	case KindUnthrottle:
+		return "unthrottle"
+	case KindSteal:
+		return "steal"
+	case KindTaskWakeup:
+		return "task-wakeup"
+	case KindTaskOn:
+		return "task-on"
+	case KindTaskOff:
+		return "task-off"
+	case KindTaskMigrate:
+		return "task-migrate"
+	case KindBalance:
+		return "balance"
+	case KindIdlePolicy:
+		return "idle-policy"
+	case KindCapSample:
+		return "vcap-sample"
+	case KindActSample:
+		return "vact-sample"
+	case KindBVSPlace:
+		return "bvs-place"
+	case KindIVH:
+		return "ivh"
+	case KindVtop:
+		return "vtop"
+	}
+	return "invalid"
+}
+
+// Category returns the simulation layer the kind belongs to: "host",
+// "guest" or "vsched".
+func (k Kind) Category() string {
+	switch k {
+	case KindEntityState, KindPreempt, KindThrottle, KindUnthrottle, KindSteal:
+		return "host"
+	case KindTaskWakeup, KindTaskOn, KindTaskOff, KindTaskMigrate, KindBalance, KindIdlePolicy:
+		return "guest"
+	default:
+		return "vsched"
+	}
+}
+
+// Event is one trace record. Fixed size: the subject is an interned string
+// the emitting layer already owns (entity/task name), and the payload is
+// three int64 arguments whose meaning depends on Kind.
+type Event struct {
+	At         sim.Time
+	Kind       Kind
+	Subject    string
+	A0, A1, A2 int64
+}
+
+// Tracer records events into a fixed-capacity ring buffer. The zero of
+// everything is useful: a nil *Tracer is a disabled tracer whose emit
+// methods are no-ops.
+type Tracer struct {
+	buf   []Event
+	next  int    // ring write index
+	total uint64 // events emitted over the tracer's lifetime
+}
+
+// DefaultCapacity is a buffer big enough for several virtual seconds of a
+// mid-sized VM (~48 bytes/event => ~12 MB).
+const DefaultCapacity = 1 << 18
+
+// New returns a tracer with a preallocated ring of the given capacity
+// (DefaultCapacity when <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records one event. Safe (and free) on a nil tracer: the nil check is
+// the entire disabled fast path, and an enabled emit writes one fixed-size
+// slot with no allocation.
+func (tr *Tracer) Emit(at sim.Time, k Kind, subject string, a0, a1, a2 int64) {
+	if tr == nil {
+		return
+	}
+	ev := Event{At: at, Kind: k, Subject: subject, A0: a0, A1: a1, A2: a2}
+	if len(tr.buf) < cap(tr.buf) {
+		tr.buf = append(tr.buf, ev)
+	} else {
+		tr.buf[tr.next] = ev
+		tr.next++
+		if tr.next == len(tr.buf) {
+			tr.next = 0
+		}
+	}
+	tr.total++
+}
+
+// Enabled reports whether the tracer records events.
+func (tr *Tracer) Enabled() bool { return tr != nil }
+
+// Total returns how many events were emitted over the tracer's lifetime,
+// including ones the ring has since overwritten.
+func (tr *Tracer) Total() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.total
+}
+
+// Dropped returns how many events the ring overwrote.
+func (tr *Tracer) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.total - uint64(len(tr.buf))
+}
+
+// Events returns the buffered events in chronological order. The returned
+// slice is freshly allocated; the tracer may keep recording.
+func (tr *Tracer) Events() []Event {
+	if tr == nil || len(tr.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(tr.buf))
+	out = append(out, tr.buf[tr.next:]...)
+	out = append(out, tr.buf[:tr.next]...)
+	return out
+}
+
+// AttachHost taps every entity of h — including entities created after the
+// call — emitting state-transition, preemption, throttle and steal-interval
+// events. It uses the host-wide observer hook, so at most one tracer can be
+// attached per host.
+func AttachHost(tr *Tracer, h *host.Host) {
+	if tr == nil {
+		return
+	}
+	// stealSince tracks when each entity last entered a steal state
+	// (Runnable/Throttled), to size the KindSteal interval on exit. Map
+	// reads/writes of existing keys do not allocate, so the steady-state
+	// observer path stays allocation-free.
+	stealSince := make(map[*host.Entity]sim.Time)
+	h.SetObserver(func(e *host.Entity, now sim.Time, from, to host.EntityState) {
+		name := e.Name()
+		tr.Emit(now, KindEntityState, name, int64(from), int64(to), 0)
+		if from == host.Running && (to == host.Runnable || to == host.Throttled) {
+			tr.Emit(now, KindPreempt, name, int64(to), 0, 0)
+		}
+		if to == host.Throttled {
+			tr.Emit(now, KindThrottle, name, 0, 0, 0)
+		}
+		if from == host.Throttled && to == host.Runnable {
+			// The quota-refill path re-admits the entity to its runqueue.
+			tr.Emit(now, KindUnthrottle, name, 0, 0, 0)
+		}
+		fromSteal := from == host.Runnable || from == host.Throttled
+		toSteal := to == host.Runnable || to == host.Throttled
+		switch {
+		case !fromSteal && toSteal:
+			stealSince[e] = now
+		case fromSteal && !toSteal:
+			if since, ok := stealSince[e]; ok {
+				tr.Emit(now, KindSteal, name, int64(now.Sub(since)), 0, 0)
+				delete(stealSince, e)
+			}
+		}
+	})
+}

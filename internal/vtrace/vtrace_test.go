@@ -1,0 +1,332 @@
+package vtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vsched/internal/host"
+	"vsched/internal/sim"
+)
+
+// contendedEntity builds a 1-thread host with one observed entity sharing the
+// thread with a 5ms/5ms pattern contender, and runs it for 100ms.
+func contendedEntity(t *testing.T, attach func(h *host.Host, e *host.Entity)) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := host.DefaultConfig()
+	cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 2, 1
+	h := host.New(eng, cfg)
+	e := h.NewEntity("v", h.Thread(0), host.DefaultWeight, host.NopClient{})
+	attach(h, e)
+	e.Wake()
+	host.NewPatternContender(h, "p", h.Thread(0), 5*sim.Millisecond, 5*sim.Millisecond, 0)
+	eng.RunFor(100 * sim.Millisecond)
+}
+
+func TestTimelineRecordsAndIntegrates(t *testing.T) {
+	var tl *Timeline
+	contendedEntity(t, func(h *host.Host, e *host.Entity) { tl = Attach(e) })
+
+	if len(tl.Events) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	frac := tl.RunningFraction(0, sim.Time(100*sim.Millisecond))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("running fraction=%v want ~0.5", frac)
+	}
+	run := tl.TimeIn(host.Running, 0, sim.Time(100*sim.Millisecond))
+	wait := tl.TimeIn(host.Runnable, 0, sim.Time(100*sim.Millisecond))
+	if run+wait < 99*sim.Millisecond {
+		t.Fatalf("run+wait=%v want ~100ms", run+wait)
+	}
+
+	strip := tl.Render(50, 0, sim.Time(100*sim.Millisecond))
+	if len(strip) != 50 {
+		t.Fatalf("strip len=%d", len(strip))
+	}
+	if !strings.Contains(strip, "#") || !strings.Contains(strip, ".") {
+		t.Fatalf("strip should show both running and waiting: %q", strip)
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	tl := &Timeline{Initial: host.Blocked}
+	if tl.Render(0, 0, 10) != "" {
+		t.Fatal("zero width must render empty")
+	}
+	if tl.Render(10, 10, 10) != "" {
+		t.Fatal("empty interval must render empty")
+	}
+	if got := tl.Render(4, 0, 100); got != "    " {
+		t.Fatalf("blocked strip wrong: %q", got)
+	}
+	if tl.RunningFraction(10, 10) != 0 {
+		t.Fatal("degenerate fraction must be 0")
+	}
+}
+
+// Satellite regression: before observers became a list, attaching a second
+// consumer silently replaced the first. Both must now see every transition.
+func TestObserversStack(t *testing.T) {
+	var tl1, tl2 *Timeline
+	traced := 0
+	contendedEntity(t, func(h *host.Host, e *host.Entity) {
+		tl1 = Attach(e)
+		tl2 = Attach(e)
+		e.AddObserver(func(now sim.Time, from, to host.EntityState) { traced++ })
+	})
+	if len(tl1.Events) == 0 {
+		t.Fatal("first observer recorded nothing")
+	}
+	if len(tl2.Events) != len(tl1.Events) {
+		t.Fatalf("second observer saw %d events, first saw %d — observers clobbered",
+			len(tl2.Events), len(tl1.Events))
+	}
+	if traced != len(tl1.Events) {
+		t.Fatalf("raw observer saw %d events, timeline saw %d", traced, len(tl1.Events))
+	}
+}
+
+// The per-entity observers and the host-wide observer are independent taps.
+func TestHostObserverAndEntityObserversCoexist(t *testing.T) {
+	var tl *Timeline
+	tr := New(0)
+	contendedEntity(t, func(h *host.Host, e *host.Entity) {
+		tl = Attach(e)
+		AttachHost(tr, h)
+	})
+	if len(tl.Events) == 0 {
+		t.Fatal("entity observer recorded nothing")
+	}
+	var stateEvents int
+	for _, ev := range tr.Events() {
+		if ev.Kind == KindEntityState && ev.Subject == "v" {
+			stateEvents++
+		}
+	}
+	if stateEvents != len(tl.Events) {
+		t.Fatalf("host tap saw %d transitions of v, timeline saw %d", stateEvents, len(tl.Events))
+	}
+}
+
+func TestAttachHostEventKinds(t *testing.T) {
+	tr := New(0)
+	contendedEntity(t, func(h *host.Host, e *host.Entity) { AttachHost(tr, h) })
+
+	counts := map[Kind]int{}
+	var stealTotal int64
+	for _, ev := range tr.Events() {
+		counts[ev.Kind]++
+		if ev.Kind == KindSteal && ev.Subject == "v" {
+			stealTotal += ev.A0
+		}
+	}
+	if counts[KindEntityState] == 0 {
+		t.Fatal("no entity-state events")
+	}
+	if counts[KindPreempt] == 0 {
+		t.Fatal("no preemptions traced despite a contender on the same thread")
+	}
+	// Time-shared 50/50 for 100ms: the entity stole ~50ms waiting.
+	if stealTotal < int64(30*sim.Millisecond) || stealTotal > int64(70*sim.Millisecond) {
+		t.Fatalf("steal intervals sum to %d ns, want ~50ms", stealTotal)
+	}
+}
+
+func TestThrottleEventsTraced(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := host.DefaultConfig()
+	cfg.Sockets, cfg.CoresPerSocket, cfg.ThreadsPerCore = 1, 1, 1
+	h := host.New(eng, cfg)
+	tr := New(0)
+	AttachHost(tr, h)
+	e := h.NewEntity("q", h.Thread(0), host.DefaultWeight, host.NopClient{})
+	// Small quota per host bandwidth period => repeated throttling.
+	e.SetBandwidth(20 * sim.Millisecond)
+	e.Wake()
+	eng.RunFor(500 * sim.Millisecond)
+
+	counts := map[Kind]int{}
+	for _, ev := range tr.Events() {
+		counts[ev.Kind]++
+	}
+	if counts[KindThrottle] == 0 || counts[KindUnthrottle] == 0 {
+		t.Fatalf("throttle=%d unthrottle=%d, want both > 0",
+			counts[KindThrottle], counts[KindUnthrottle])
+	}
+	if counts[KindUnthrottle] > counts[KindThrottle] {
+		t.Fatalf("more unthrottles (%d) than throttles (%d)",
+			counts[KindUnthrottle], counts[KindThrottle])
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(sim.Time(i), KindBalance, "vm", int64(i), 0, 0)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total=%d want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped=%d want 6", tr.Dropped())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("len=%d want 4", len(events))
+	}
+	for i, ev := range events {
+		if ev.A0 != int64(6+i) {
+			t.Fatalf("event %d has A0=%d, want %d (chronological, oldest survivor first)", i, ev.A0, 6+i)
+		}
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, KindBalance, "x", 0, 0, 0) // must not panic
+	if tr.Enabled() || tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must look empty")
+	}
+	if got := tr.Summary(); !strings.Contains(got, "disabled") {
+		t.Fatalf("nil summary: %q", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace is not valid JSON: %v", err)
+	}
+}
+
+func TestEmitAllocatesNothing(t *testing.T) {
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		nilTr.Emit(0, KindBalance, "vm", 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("disabled emit allocates %v per event", n)
+	}
+	tr := New(64) // small ring: exercises the overwrite path too
+	var at sim.Time
+	if n := testing.AllocsPerRun(1000, func() {
+		at++
+		tr.Emit(at, KindTaskWakeup, "vm", 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("enabled emit allocates %v per event", n)
+	}
+}
+
+func TestKindStringsAndCategoriesTotal(t *testing.T) {
+	for k := Kind(0); k <= KindVtop; k++ {
+		if k.String() == "invalid" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		switch k.Category() {
+		case "host", "guest", "vsched":
+		default:
+			t.Fatalf("kind %v has category %q", k, k.Category())
+		}
+	}
+	if Kind(200).String() != "invalid" {
+		t.Fatal("out-of-range kind must stringify as invalid")
+	}
+}
+
+// traceScenario runs a deterministic contended scenario with the tracer
+// attached and returns the exported Chrome JSON.
+func traceScenario(t *testing.T) []byte {
+	t.Helper()
+	tr := New(0)
+	contendedEntity(t, func(h *host.Host, e *host.Entity) { AttachHost(tr, h) })
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestChromeExportWellFormed(t *testing.T) {
+	raw := traceScenario(t)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit=%q", doc.Unit)
+	}
+	phases := map[string]int{}
+	pids := map[float64]int{}
+	sliceNames := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid]++
+		}
+		if ph == "X" {
+			name, _ := ev["name"].(string)
+			sliceNames[name]++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+		}
+	}
+	if phases["M"] < 4 {
+		t.Fatalf("want process/thread metadata, got %d M events", phases["M"])
+	}
+	if phases["X"] == 0 {
+		t.Fatal("no interval slices exported")
+	}
+	if phases["i"] == 0 {
+		t.Fatal("no instant events exported")
+	}
+	if pids[pidHost] == 0 {
+		t.Fatal("no host-process events")
+	}
+	if sliceNames["running"] == 0 || sliceNames["runnable"] == 0 {
+		t.Fatalf("want running+runnable slices, got %v", sliceNames)
+	}
+}
+
+func TestChromeExportDeterministic(t *testing.T) {
+	a := traceScenario(t)
+	b := traceScenario(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs exported different trace bytes")
+	}
+}
+
+func TestSummaryCountsByCategory(t *testing.T) {
+	tr := New(0)
+	contendedEntity(t, func(h *host.Host, e *host.Entity) { AttachHost(tr, h) })
+	s := tr.Summary()
+	if !strings.Contains(s, "host") || !strings.Contains(s, "entity-state") {
+		t.Fatalf("summary missing host counts:\n%s", s)
+	}
+	if !strings.Contains(s, "0 dropped") {
+		t.Fatalf("summary should report drops:\n%s", s)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(sim.Time(i), KindTaskWakeup, "vm", 1, 2, 3)
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := New(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(sim.Time(i), KindTaskWakeup, "vm", 1, 2, 3)
+	}
+}
