@@ -31,8 +31,16 @@ go build ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/..."
-go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/...
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/...
+
+# Examples smoke: every program under examples/ must not just compile but
+# run to completion — they are the documented entry points.
+echo "== examples smoke"
+for d in examples/*/; do
+    echo "-- go run ./$d"
+    go run "./$d" > /dev/null
+done
 
 # Tracing-overhead smoke: the disabled path must stay allocation-free and the
 # enabled path cheap. TestEmitAllocatesNothing enforces zero allocs; the

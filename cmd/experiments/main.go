@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -30,40 +31,50 @@ import (
 )
 
 func main() {
-	var (
-		run      = flag.String("run", "", "experiment id (fig2..fig21, table2..table4), comma list, or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids")
-		seed     = flag.Int64("seed", 42, "base simulation seed")
-		scale    = flag.Float64("scale", 1.0, "measurement window scale factor")
-		verbose  = flag.Bool("v", false, "verbose notes")
-		asJSON   = flag.Bool("json", false, "emit reports as JSON lines")
-		parallel = flag.Int("parallel", 1, "worker pool size (1 = serial reference path)")
-		reps     = flag.Int("reps", 1, "replicate seeds per experiment; >1 adds mean±stddev [min,max] cells")
-		timeout  = flag.Duration("timeout", 0, "per-trial wall-clock budget (0 = none)")
-		out      = flag.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list || *run == "" {
-		fmt.Println("available experiments:")
+// run is the testable entry point: flags in, exit code out, all output on
+// the given writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs   = fs.String("run", "", "experiment id (fig2..fig21, table2..table4), comma list, or 'all'")
+		list     = fs.Bool("list", false, "list experiment ids")
+		seed     = fs.Int64("seed", 42, "base simulation seed")
+		scale    = fs.Float64("scale", 1.0, "measurement window scale factor")
+		verbose  = fs.Bool("v", false, "verbose notes")
+		asJSON   = fs.Bool("json", false, "emit reports as JSON lines")
+		parallel = fs.Int("parallel", 1, "worker pool size (1 = serial reference path)")
+		reps     = fs.Int("reps", 1, "replicate seeds per experiment; >1 adds mean±stddev [min,max] cells")
+		timeout  = fs.Duration("timeout", 0, "per-trial wall-clock budget (0 = none)")
+		out      = fs.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list || *runIDs == "" {
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, r := range experiments.Registry() {
-			fmt.Printf("  %-8s %s\n", r.ID, r.Title)
+			fmt.Fprintf(stdout, "  %-8s %s\n", r.ID, r.Title)
 		}
-		if *run == "" {
-			fmt.Println("\nuse -run <id> or -run all")
+		if *runIDs == "" {
+			fmt.Fprintln(stdout, "\nuse -run <id> or -run all")
 		}
-		return
+		return 0
 	}
 
 	var runners []experiments.Runner
-	if strings.EqualFold(*run, "all") {
+	if strings.EqualFold(*runIDs, "all") {
 		runners = experiments.Registry()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			r, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", id)
+				return 1
 			}
 			runners = append(runners, r)
 		}
@@ -82,8 +93,8 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := res.WriteArtifact(f); err == nil {
 			err = f.Close()
@@ -91,32 +102,33 @@ func main() {
 			f.Close()
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		for _, ex := range res.Experiments {
 			for i := range ex.Trials {
 				t := &ex.Trials[i]
 				if !t.OK() {
-					fmt.Fprintf(os.Stderr, "%s rep %d (seed %d): %s\n", t.ExperimentID, t.Replicate, t.Seed, t.Err)
+					fmt.Fprintf(stderr, "%s rep %d (seed %d): %s\n", t.ExperimentID, t.Replicate, t.Seed, t.Err)
 					continue
 				}
 				if err := enc.Encode(t.Report); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fmt.Fprintln(stderr, err)
+					return 1
 				}
 			}
 		}
 	} else {
-		fmt.Print(res.Text())
+		fmt.Fprint(stdout, res.Text())
 	}
-	fmt.Fprintf(os.Stderr, "(%d trials over %d workers: %d events in %v wall time, %d failed)\n",
+	fmt.Fprintf(stderr, "(%d trials over %d workers: %d events in %v wall time, %d failed)\n",
 		res.Trials(), res.Workers, res.EventsFired(), res.WallTime.Round(time.Millisecond), res.Failed())
 	if res.Failed() > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"vsched/internal/experiments"
+)
+
+// TestListPrintsEveryExperiment pins the catalog contract: -list names
+// every registered experiment with its one-line description and exits 0.
+func TestListPrintsEveryExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.HasPrefix(text, "available experiments:") {
+		t.Fatalf("unexpected -list header:\n%s", text)
+	}
+	reg := experiments.Registry()
+	for _, r := range reg {
+		line := false
+		for _, l := range strings.Split(text, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(l), r.ID+" ") && strings.Contains(l, r.Title) {
+				line = true
+				break
+			}
+		}
+		if !line {
+			t.Errorf("-list output missing %q (%s)", r.ID, r.Title)
+		}
+	}
+	// One line per experiment plus the header: nothing unregistered sneaks in.
+	n := 0
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "  ") {
+			n++
+		}
+	}
+	if n != len(reg) {
+		t.Fatalf("-list printed %d entries, registry has %d", n, len(reg))
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "nonsense"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown id exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("missing diagnostic, stderr: %s", errb.String())
+	}
+}
+
+func TestUnknownFlagFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

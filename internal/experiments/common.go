@@ -259,6 +259,7 @@ func Registry() []Runner {
 		{"fig20", "Cost of vSched", Fig20},
 		{"fig21", "Overhead when abstraction is already accurate", Fig21},
 		{"probeacc", "Prober accuracy vs host ground truth", ProbeAccuracy},
+		{"fleet", "Fleet-scale placement: policy x guest on a 32-host cluster", FleetScale},
 	}
 }
 

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestFleetShardedMatchesSerial pins the fleet experiment's sharding
+// contract: cells fanned over a worker pool must render the byte-identical
+// report a serial pass produces.
+func TestFleetShardedMatchesSerial(t *testing.T) {
+	o := Options{Seed: 42, Scale: 0.1}
+	serial := fleetReport(o, 1).String()
+	sharded := fleetReport(o, 4).String()
+	if serial != sharded {
+		t.Fatalf("sharded fleet report differs from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+			serial, sharded)
+	}
+	if serial == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// TestFleetStealAwareBeatsFirstFit pins the experiment's headline: telemetry-
+// driven placement must deliver a lower fleet-wide p95 than packing, for
+// both guest configurations.
+func TestFleetStealAwareBeatsFirstFit(t *testing.T) {
+	rep := FleetScale(Options{Seed: 42, Scale: 0.1})
+	p95 := func(row int) float64 {
+		v, err := strconv.ParseFloat(rep.Cell(row, 5), 64)
+		if err != nil {
+			t.Fatalf("row %d p95 cell %q: %v", row, rep.Cell(row, 5), err)
+		}
+		return v
+	}
+	// Row order: policies {first-fit, least-loaded, steal-aware} x guests
+	// {CFS, vSched}.
+	for guest, off := range map[string]int{"CFS": 0, "vSched": 1} {
+		ff, sa := p95(0+off), p95(4+off)
+		if sa >= ff {
+			t.Errorf("%s guests: steal-aware p95 %.2fms does not beat first-fit %.2fms", guest, sa, ff)
+		}
+	}
+}

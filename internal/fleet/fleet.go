@@ -1,0 +1,396 @@
+// Package fleet is the cloud layer of the simulator: a cluster of hosts
+// sharing one deterministic event clock, a VM lifecycle model (trace-driven
+// arrivals, lifetimes, departures), pluggable placement policies, and live
+// VM migration between hosts.
+//
+// The paper evaluates vSched one VM at a time against scripted co-tenant
+// stressors; here contention is *organic* — colocated VMs steal from each
+// other because the placement policy put them on the same threads, and
+// vSched's probers observe real neighbour churn (arrivals, departures,
+// migrations) instead of a square wave. Nothing in this package uses the
+// host package's synthetic co-tenant types, by contract (see the test).
+//
+// Everything is deterministic: a Config is a pure value (the arrival trace
+// is pre-generated from a seed), one Run builds one private sim.Engine, and
+// the same Config always produces the same Result. Independent fleet cells
+// therefore shard across worker pools with merged results identical to a
+// serial run (see RunAll).
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"vsched/internal/cachemodel"
+	"vsched/internal/core"
+	"vsched/internal/guest"
+	"vsched/internal/host"
+	"vsched/internal/metrics"
+	"vsched/internal/sim"
+	"vsched/internal/vtrace"
+	"vsched/internal/workload"
+)
+
+// Config parameterises one fleet simulation cell.
+type Config struct {
+	// Seed drives the engine (and through it every workload's private
+	// stream). The arrival trace is NOT derived from it — it is passed in
+	// explicitly so several cells can replay the identical trace.
+	Seed int64
+	// Hosts is the cluster size. Every host gets an identical HostConfig:
+	// live migration re-homes entities by thread index, and the guest's
+	// topology relation lookups stay valid only because the mapping from
+	// thread ID to (socket, core, slot) is the same everywhere.
+	Hosts      int
+	HostConfig host.Config
+	// Overcommit bounds admission: a host accepts a VM while
+	// committed vCPUs + requested <= Overcommit * threads. <=0 means 1.0
+	// (no overcommit).
+	Overcommit float64
+	// Policy decides placement. Required.
+	Policy Policy
+	// VSched attaches the full vSched system (probers + bvs + ivh + rwc)
+	// inside every VM; false is the stock-CFS baseline.
+	VSched bool
+	// Arrivals is the VM arrival trace, sorted by At (Run sorts defensively).
+	Arrivals []Arrival
+	// Horizon is how long the cell runs.
+	Horizon sim.Duration
+	// TelemetryEvery is the per-host steal sampling period feeding the
+	// steal-aware policy and the migration controller (default 50ms).
+	TelemetryEvery sim.Duration
+	// Migration enables the live-migration controller when Every > 0.
+	Migration MigrationConfig
+	// Tracer, when non-nil, receives fleet events (and is attached to every
+	// host for entity-level events).
+	Tracer *vtrace.Tracer
+}
+
+// MigrationConfig tunes the live-migration controller: every Every it looks
+// for the host with the highest smoothed steal rate and, if that exceeds
+// MinSteal and some fitting host sits at least Margin lower, moves that
+// host's cheapest VM there. The VM is blocked for Downtime (stop-and-copy
+// brownout) before resuming on the destination.
+type MigrationConfig struct {
+	Every    sim.Duration
+	MinSteal float64
+	Margin   float64
+	Downtime sim.Duration
+}
+
+// Result is the fully-aggregated outcome of one cell.
+type Result struct {
+	Policy     string
+	Guest      string // "CFS" or "vSched"
+	Arrivals   int
+	Placed     int
+	Rejected   int
+	Departed   int
+	Migrations int
+	// E2E merges every service VM's end-to-end request latency histogram —
+	// the fleet-wide task latency distribution.
+	E2E *metrics.Histogram
+	// Ops counts completed operations across all VMs (requests + batch
+	// iterations) inside the horizon.
+	Ops uint64
+	// Steal is cumulative vCPU steal time across every VM ever placed.
+	Steal sim.Duration
+	// Events is how many engine events the cell fired.
+	Events uint64
+	// Registry holds the fleet-wide instruments (fleet.* counters, the e2e
+	// histogram, steal gauge) for harness artifact embedding.
+	Registry *metrics.Registry
+}
+
+// hostState is one host plus the fleet's bookkeeping about it. Occupancy is
+// tracked by the fleet, not read back from host internals: placement is a
+// control-plane decision and must not depend on instantaneous physics.
+type hostState struct {
+	index     int
+	h         *host.Host
+	occ       []int // committed vCPUs per thread
+	committed int
+	vms       []*fleetVM
+	stealEMA  float64
+}
+
+// fleetVM is one placed VM with its lifecycle state.
+type fleetVM struct {
+	id      int
+	name    string
+	typ     VMType
+	hostIdx int
+	threads []int // thread indexes on the current host
+	gvm     *guest.VM
+	vs      *core.VSched
+	inst    workload.Instance
+	alive   bool
+	// migrating marks the stop-and-copy brownout window so the controller
+	// never double-moves a VM in flight.
+	migrating bool
+	// stealSeen is the telemetry baseline: total steal across the VM's
+	// vCPUs at the last sample, attributed to whichever host it sat on.
+	stealSeen sim.Duration
+}
+
+// Fleet is a cluster under simulation. Build with New, inspect Engine, then
+// Run once.
+type Fleet struct {
+	cfg   Config
+	eng   *sim.Engine
+	hosts []*hostState
+	vms   []*fleetVM // every VM ever placed, in placement order
+
+	placed, rejected, departed, migrations int
+	reg                                    *metrics.Registry
+}
+
+// New builds the cluster. The engine is exposed before Run so callers
+// (the experiment harness) can track and interrupt it.
+func New(cfg Config) *Fleet {
+	if cfg.Hosts <= 0 {
+		panic("fleet: need at least one host")
+	}
+	if cfg.Policy == nil {
+		panic("fleet: nil placement policy")
+	}
+	if cfg.Overcommit <= 0 {
+		cfg.Overcommit = 1.0
+	}
+	if cfg.TelemetryEvery <= 0 {
+		cfg.TelemetryEvery = 50 * sim.Millisecond
+	}
+	f := &Fleet{cfg: cfg, eng: sim.NewEngine(cfg.Seed), reg: metrics.NewRegistry()}
+	for i := 0; i < cfg.Hosts; i++ {
+		h := host.New(f.eng, cfg.HostConfig)
+		vtrace.AttachHost(cfg.Tracer, h)
+		f.hosts = append(f.hosts, &hostState{
+			index: i,
+			h:     h,
+			occ:   make([]int, h.NumThreads()),
+		})
+	}
+	return f
+}
+
+// Engine returns the cell's private engine.
+func (f *Fleet) Engine() *sim.Engine { return f.eng }
+
+// Registry returns the fleet-wide metrics registry.
+func (f *Fleet) Registry() *metrics.Registry { return f.reg }
+
+// capacity is the committed-vCPU admission bound per host.
+func (f *Fleet) capacity() int {
+	return int(f.cfg.Overcommit * float64(f.hosts[0].h.NumThreads()))
+}
+
+// view renders the per-host snapshot handed to placement policies.
+func (f *Fleet) view() []HostInfo {
+	out := make([]HostInfo, len(f.hosts))
+	cap := f.capacity()
+	for i, hs := range f.hosts {
+		out[i] = HostInfo{
+			Index:     i,
+			Committed: hs.committed,
+			Capacity:  cap,
+			VMs:       len(hs.vms),
+			StealRate: hs.stealEMA,
+		}
+	}
+	return out
+}
+
+// pickThreads chooses n distinct threads on hs, least-committed first (ties
+// by index), and commits one vCPU to each.
+func (hs *hostState) pickThreads(n int) []int {
+	idx := make([]int, len(hs.occ))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return hs.occ[idx[a]] < hs.occ[idx[b]] })
+	picked := idx[:n]
+	out := make([]int, n)
+	copy(out, picked)
+	sort.Ints(out)
+	for _, t := range out {
+		hs.occ[t]++
+	}
+	hs.committed += n
+	return out
+}
+
+// release frees the threads a VM occupied.
+func (hs *hostState) release(threads []int) {
+	for _, t := range threads {
+		hs.occ[t]--
+	}
+	hs.committed -= len(threads)
+}
+
+// removeVM drops vm from hs.vms keeping order (determinism: the list is
+// iterated for telemetry and migration candidate selection).
+func (hs *hostState) removeVM(vm *fleetVM) {
+	for i, v := range hs.vms {
+		if v == vm {
+			hs.vms = append(hs.vms[:i], hs.vms[i+1:]...)
+			return
+		}
+	}
+}
+
+// Run executes the cell to its horizon and aggregates the Result. Call once.
+func (f *Fleet) Run() *Result {
+	cfg := f.cfg
+	arr := make([]Arrival, len(cfg.Arrivals))
+	copy(arr, cfg.Arrivals)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+	maxV := f.hosts[0].h.NumThreads()
+	for _, a := range arr {
+		// One thread per vCPU: stacking happens across VMs (overcommit),
+		// never inside one.
+		if a.Type.VCPUs <= 0 || a.Type.VCPUs > maxV {
+			panic(fmt.Sprintf("fleet: VM type %s wants %d vCPUs on %d-thread hosts",
+				a.Type.Name, a.Type.VCPUs, maxV))
+		}
+	}
+	for i := range arr {
+		a := arr[i]
+		f.eng.At(a.At, func() { f.arrive(a) })
+	}
+	f.eng.After(cfg.TelemetryEvery, f.telemetryTick)
+	if cfg.Migration.Every > 0 {
+		f.eng.After(cfg.Migration.Every, f.migrationTick)
+	}
+	f.eng.RunFor(cfg.Horizon)
+	return f.collect(arr)
+}
+
+// arrive runs one arrival through the placement pipeline.
+func (f *Fleet) arrive(a Arrival) {
+	cfg := f.cfg
+	name := fmt.Sprintf("vm%03d-%s", a.ID, a.Type.Name)
+	now := f.eng.Now()
+	cfg.Tracer.Emit(now, vtrace.KindVMArrive, name, int64(a.Type.VCPUs), 0, 0)
+	f.reg.Counter("fleet.arrivals").Inc()
+
+	hi := cfg.Policy.Place(f.view(), a.Type.VCPUs)
+	if hi < 0 || hi >= len(f.hosts) ||
+		f.hosts[hi].committed+a.Type.VCPUs > f.capacity() {
+		f.rejected++
+		f.reg.Counter("fleet.rejected").Inc()
+		cfg.Tracer.Emit(now, vtrace.KindVMPlace, name, -1, int64(a.Type.VCPUs), 0)
+		return
+	}
+	hs := f.hosts[hi]
+	threads := hs.pickThreads(a.Type.VCPUs)
+	hts := make([]*host.Thread, len(threads))
+	for i, t := range threads {
+		hts[i] = hs.h.Thread(t)
+	}
+	gvm := guest.NewVM(hs.h, name, hts, guest.DefaultParams())
+	gvm.SetTracer(cfg.Tracer)
+	gvm.Start()
+	vm := &fleetVM{
+		id: a.ID, name: name, typ: a.Type,
+		hostIdx: hi, threads: threads, gvm: gvm, alive: true,
+	}
+	if cfg.VSched {
+		p := core.DefaultParams()
+		p.NominalSpeed = hs.h.Config().BaseSpeed
+		vm.vs = core.New(gvm, core.AllFeatures(), p, cachemodel.Default())
+		vm.vs.Start()
+	}
+	vm.inst = a.Type.instantiate(vm)
+	vm.inst.Start()
+	hs.vms = append(hs.vms, vm)
+	f.vms = append(f.vms, vm)
+	f.placed++
+	f.reg.Counter("fleet.placed").Inc()
+	cfg.Tracer.Emit(now, vtrace.KindVMPlace, name, int64(hi), int64(a.Type.VCPUs), int64(hs.committed))
+
+	if a.Lifetime > 0 {
+		f.eng.After(a.Lifetime, func() { f.depart(vm) })
+	}
+}
+
+// depart destroys a VM: its workload stops (batch threads exit at the next
+// iteration boundary, servers take no new requests — contention drains
+// within milliseconds, like a real teardown), and its slots free
+// immediately.
+func (f *Fleet) depart(vm *fleetVM) {
+	if !vm.alive {
+		return
+	}
+	vm.alive = false
+	vm.inst.(stopper).Stop()
+	hs := f.hosts[vm.hostIdx]
+	hs.release(vm.threads)
+	hs.removeVM(vm)
+	f.departed++
+	f.reg.Counter("fleet.departed").Inc()
+	f.cfg.Tracer.Emit(f.eng.Now(), vtrace.KindVMExit, vm.name,
+		int64(vm.hostIdx), int64(vm.typ.VCPUs), 0)
+}
+
+// stopper is the subset of workload instances the fleet can tear down; both
+// Server and Parallel implement it.
+type stopper interface{ Stop() }
+
+// vmSteal sums current steal across the VM's vCPU entities.
+func (vm *fleetVM) vmSteal() sim.Duration {
+	var s sim.Duration
+	for _, v := range vm.gvm.VCPUs() {
+		s += v.Entity().Steal()
+	}
+	return s
+}
+
+// telemetryTick samples per-host steal and folds it into the EMA the
+// steal-aware policy and migration controller consult. Steal is attributed
+// to the host a VM currently sits on; a VM's baseline travels with it across
+// migrations.
+func (f *Fleet) telemetryTick() {
+	interval := f.cfg.TelemetryEvery
+	alpha := 0.4
+	for _, hs := range f.hosts {
+		var delta sim.Duration
+		for _, vm := range hs.vms {
+			cur := vm.vmSteal()
+			delta += cur - vm.stealSeen
+			vm.stealSeen = cur
+		}
+		rate := float64(delta) / (float64(interval) * float64(len(hs.occ)))
+		hs.stealEMA = alpha*rate + (1-alpha)*hs.stealEMA
+	}
+	f.eng.After(interval, f.telemetryTick)
+}
+
+// collect aggregates the Result after the horizon.
+func (f *Fleet) collect(arr []Arrival) *Result {
+	guestName := "CFS"
+	if f.cfg.VSched {
+		guestName = "vSched"
+	}
+	r := &Result{
+		Policy:     f.cfg.Policy.Name(),
+		Guest:      guestName,
+		Arrivals:   len(arr),
+		Placed:     f.placed,
+		Rejected:   f.rejected,
+		Departed:   f.departed,
+		Migrations: f.migrations,
+		E2E:        f.reg.Histogram("fleet.e2e"),
+		Events:     f.eng.Fired(),
+		Registry:   f.reg,
+	}
+	for _, vm := range f.vms {
+		r.Ops += vm.inst.Ops()
+		r.Steal += vm.vmSteal()
+		if srv, ok := vm.inst.(*workload.Server); ok {
+			r.E2E.Merge(srv.E2E())
+		}
+	}
+	f.reg.Gauge("fleet.steal_seconds").Set(float64(r.Steal) / 1e9)
+	f.reg.Counter("fleet.ops").Add(r.Ops)
+	return r
+}

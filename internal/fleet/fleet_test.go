@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vsched/internal/host"
+	"vsched/internal/sim"
+)
+
+func testHostConfig() host.Config {
+	cfg := host.DefaultConfig()
+	cfg.Sockets = 1
+	cfg.CoresPerSocket = 2
+	cfg.ThreadsPerCore = 2
+	return cfg
+}
+
+func testMix() []TypeMix {
+	return []TypeMix{
+		{Type: VMType{Name: "svc", VCPUs: 2, Service: true, ServiceMean: 300 * sim.Microsecond},
+			Weight: 2, MeanLifetime: 1500 * sim.Millisecond},
+		{Type: VMType{Name: "batch", VCPUs: 2, BatchWork: sim.Millisecond},
+			Weight: 1, MeanLifetime: 1200 * sim.Millisecond},
+	}
+}
+
+func testConfig(seed int64, pol Policy, vs bool) Config {
+	return Config{
+		Seed:       seed,
+		Hosts:      4,
+		HostConfig: testHostConfig(),
+		Overcommit: 2.0,
+		Policy:     pol,
+		VSched:     vs,
+		Arrivals:   GenerateArrivals(seed, 12, 1500*sim.Millisecond, testMix()),
+		Horizon:    2500 * sim.Millisecond,
+		Migration: MigrationConfig{
+			Every:    250 * sim.Millisecond,
+			MinSteal: 0.05,
+			Margin:   0.02,
+			Downtime: 10 * sim.Millisecond,
+		},
+	}
+}
+
+func TestPolicyDecisions(t *testing.T) {
+	hosts := []HostInfo{
+		{Index: 0, Committed: 6, Capacity: 8, StealRate: 0.30},
+		{Index: 1, Committed: 2, Capacity: 8, StealRate: 0.10},
+		{Index: 2, Committed: 4, Capacity: 8, StealRate: 0.05},
+	}
+	if got := (FirstFit{}).Place(hosts, 2); got != 0 {
+		t.Fatalf("first-fit chose %d, want 0", got)
+	}
+	if got := (FirstFit{}).Place(hosts, 4); got != 1 {
+		t.Fatalf("first-fit (no room on 0) chose %d, want 1", got)
+	}
+	if got := (LeastLoaded{}).Place(hosts, 2); got != 1 {
+		t.Fatalf("least-loaded chose %d, want 1", got)
+	}
+	if got := (StealAware{}).Place(hosts, 2); got != 2 {
+		t.Fatalf("steal-aware chose %d, want 2", got)
+	}
+	// Steal ties break toward fewer commitments.
+	hosts[1].StealRate = 0.05
+	if got := (StealAware{}).Place(hosts, 2); got != 1 {
+		t.Fatalf("steal-aware tie-break chose %d, want 1", got)
+	}
+	full := []HostInfo{{Index: 0, Committed: 8, Capacity: 8}}
+	for _, p := range []Policy{FirstFit{}, LeastLoaded{}, StealAware{}} {
+		if got := p.Place(full, 1); got != -1 {
+			t.Fatalf("%s placed on a full cluster (host %d)", p.Name(), got)
+		}
+	}
+}
+
+func TestLifecycleAndOccupancy(t *testing.T) {
+	f := New(testConfig(7, FirstFit{}, false))
+	res := f.Run()
+	if res.Placed == 0 {
+		t.Fatal("nothing placed")
+	}
+	if res.Placed+res.Rejected != res.Arrivals {
+		t.Fatalf("placed %d + rejected %d != arrivals %d", res.Placed, res.Rejected, res.Arrivals)
+	}
+	if res.Departed == 0 {
+		t.Fatal("no VM departed despite finite lifetimes shorter than the horizon")
+	}
+	if res.Ops == 0 || res.E2E.Count() == 0 {
+		t.Fatalf("no work measured: ops=%d e2e=%d", res.Ops, res.E2E.Count())
+	}
+	// Occupancy must balance: committed == live vCPUs, per host.
+	cap := f.capacity()
+	for _, hs := range f.hosts {
+		live := 0
+		for _, vm := range hs.vms {
+			if !vm.alive {
+				t.Fatalf("dead VM %s still listed on host %d", vm.name, hs.index)
+			}
+			live += vm.typ.VCPUs
+		}
+		if hs.committed != live {
+			t.Fatalf("host %d committed=%d but live vCPUs=%d", hs.index, hs.committed, live)
+		}
+		if hs.committed > cap {
+			t.Fatalf("host %d overcommitted beyond capacity: %d > %d", hs.index, hs.committed, cap)
+		}
+		sum := 0
+		for _, o := range hs.occ {
+			sum += o
+		}
+		if sum != hs.committed {
+			t.Fatalf("host %d thread occupancy sums to %d, committed %d", hs.index, sum, hs.committed)
+		}
+	}
+}
+
+func TestMigrationMovesEntitiesAcrossHosts(t *testing.T) {
+	// A packing policy under contention-driven migration must move someone.
+	cfg := testConfig(11, FirstFit{}, false)
+	f := New(cfg)
+	res := f.Run()
+	if res.Migrations == 0 {
+		t.Fatal("migration controller never fired on a packed first-fit cluster")
+	}
+	// Every alive VM's vCPU entities must sit on threads of its recorded host.
+	for _, vm := range f.vms {
+		if !vm.alive {
+			continue
+		}
+		hs := f.hosts[vm.hostIdx]
+		for i, v := range vm.gvm.VCPUs() {
+			th := v.Entity().Thread()
+			if th != hs.h.Thread(vm.threads[i]) {
+				t.Fatalf("%s vCPU %d entity on wrong thread after migration", vm.name, i)
+			}
+		}
+	}
+}
+
+func TestRerunIsIdentical(t *testing.T) {
+	run := func() *Result { return New(testConfig(42, StealAware{}, true)).Run() }
+	a, b := run(), run()
+	if a.Placed != b.Placed || a.Rejected != b.Rejected || a.Departed != b.Departed ||
+		a.Migrations != b.Migrations || a.Ops != b.Ops || a.Steal != b.Steal ||
+		a.Events != b.Events {
+		t.Fatalf("rerun diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.E2E.Count() != b.E2E.Count() || a.E2E.P50() != b.E2E.P50() || a.E2E.P95() != b.E2E.P95() {
+		t.Fatal("rerun produced a different latency distribution")
+	}
+}
+
+func TestShardedMatchesSerial(t *testing.T) {
+	var cfgs []Config
+	for _, pol := range []Policy{FirstFit{}, LeastLoaded{}, StealAware{}} {
+		for _, vs := range []bool{false, true} {
+			cfgs = append(cfgs, testConfig(42, pol, vs))
+		}
+	}
+	serial := RunAll(cfgs, 1, nil)
+	parallel := RunAll(cfgs, 4, nil)
+	for i := range cfgs {
+		s, p := serial[i], parallel[i]
+		if s.Placed != p.Placed || s.Migrations != p.Migrations || s.Ops != p.Ops ||
+			s.Steal != p.Steal || s.Events != p.Events ||
+			s.E2E.P50() != p.E2E.P50() || s.E2E.P95() != p.E2E.P95() {
+			t.Fatalf("cell %d (%s/%s) differs between serial and sharded runs:\n%+v\nvs\n%+v",
+				i, s.Policy, s.Guest, s, p)
+		}
+	}
+}
+
+// TestNoSyntheticContenders pins the package's contract: fleet contention is
+// organic (colocated VMs), never a host.Contender.
+func TestNoSyntheticContenders(t *testing.T) {
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(src), "Contender") || strings.Contains(string(src), "NewStressor") {
+			t.Fatalf("%s references synthetic contenders; fleet contention must be organic", file)
+		}
+	}
+}

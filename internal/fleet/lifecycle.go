@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vsched/internal/sim"
+	"vsched/internal/workload"
+)
+
+// VMType sizes a VM and names its tenant behaviour. Service VMs run an
+// open-loop request server (latency-sensitive, mostly idle between
+// requests); batch VMs run a CPU-bound parallel kernel flat out until they
+// depart — the organic noisy neighbour.
+type VMType struct {
+	Name  string
+	VCPUs int
+	// Service selects the request-server tenant; ServiceMean is its mean
+	// per-request CPU demand. The offered load is fixed at ~50% of the VM's
+	// nominal capacity so measured latency reflects interference, not
+	// saturation.
+	Service     bool
+	ServiceMean sim.Duration
+	// BatchWork is the per-thread iteration length of the batch kernel.
+	BatchWork sim.Duration
+}
+
+// instantiate builds the tenant workload inside a placed VM.
+func (t VMType) instantiate(vm *fleetVM) workload.Instance {
+	env := workload.Env{
+		VM:      vm.gvm,
+		Nominal: vm.gvm.Host().Config().BaseSpeed,
+	}
+	if vm.vs != nil {
+		env.Group = vm.vs.UserGroup()
+		env.BEGroup = vm.vs.BEGroup()
+	}
+	if t.Service {
+		return workload.NewServer(env, workload.ServerConfig{
+			Name:         vm.name,
+			Workers:      t.VCPUs,
+			ServiceMean:  t.ServiceMean,
+			ServiceJit:   0.3,
+			Interarrival: t.ServiceMean / sim.Duration(t.VCPUs) * 2,
+			LatencyMark:  true,
+		})
+	}
+	env.Threads = t.VCPUs
+	return workload.NewParallel(env, workload.ParallelSpec{
+		Name:      vm.name,
+		IterWork:  t.BatchWork,
+		Imbalance: 0.15,
+		Sync:      workload.SyncNone,
+	})
+}
+
+// Arrival is one entry of a VM arrival trace.
+type Arrival struct {
+	ID   int
+	Type VMType
+	At   sim.Time
+	// Lifetime 0 means the VM stays to the horizon.
+	Lifetime sim.Duration
+}
+
+// TypeMix weights a VMType in a generated trace.
+type TypeMix struct {
+	Type   VMType
+	Weight int
+	// MeanLifetime draws exponential lifetimes; 0 pins VMs to the horizon.
+	MeanLifetime sim.Duration
+}
+
+// GenerateArrivals synthesises a Poisson arrival trace over window: n VMs,
+// types drawn by weight, exponential lifetimes. It is a pure function of
+// its arguments — cells that must replay the identical trace (policy and
+// guest comparisons) pass the same seed, and the private rand keeps the
+// trace independent of anything else the engine draws.
+func GenerateArrivals(seed int64, n int, window sim.Duration, mix []TypeMix) []Arrival {
+	if n <= 0 || len(mix) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for _, m := range mix {
+		if m.Weight <= 0 {
+			panic(fmt.Sprintf("fleet: non-positive weight for type %s", m.Type.Name))
+		}
+		total += m.Weight
+	}
+	mean := window / sim.Duration(n)
+	out := make([]Arrival, 0, n)
+	var at sim.Time
+	for i := 0; i < n; i++ {
+		at = at.Add(sim.Exp(rng, mean))
+		pick := rng.Intn(total)
+		var m TypeMix
+		for _, cand := range mix {
+			if pick < cand.Weight {
+				m = cand
+				break
+			}
+			pick -= cand.Weight
+		}
+		a := Arrival{ID: i, Type: m.Type, At: at}
+		if m.MeanLifetime > 0 {
+			a.Lifetime = sim.Exp(rng, m.MeanLifetime)
+			if a.Lifetime < 50*sim.Millisecond {
+				a.Lifetime = 50 * sim.Millisecond
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package fleet
+
+import "sync"
+
+// RunAll executes independent fleet cells over a worker pool and returns
+// results[i] for cfgs[i]. Cells never share mutable state — each Run builds
+// a private engine, hosts and registry — so the output is a pure function
+// of cfgs: workers only changes wall-clock time, never a byte of any
+// Result. workers <= 1 is the serial reference path.
+//
+// onStart, when non-nil, is called from the worker goroutine with the cell
+// index and the freshly built Fleet before it runs — the hook the
+// experiment harness uses to register engines for interruption. It must be
+// safe for concurrent calls.
+func RunAll(cfgs []Config, workers int, onStart func(int, *Fleet)) []*Result {
+	results := make([]*Result, len(cfgs))
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			f := New(cfg)
+			if onStart != nil {
+				onStart(i, f)
+			}
+			results[i] = f.Run()
+		}
+		return results
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f := New(cfgs[i])
+				if onStart != nil {
+					onStart(i, f)
+				}
+				results[i] = f.Run()
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

@@ -32,19 +32,27 @@ func (r *Result) Text() string {
 	return b.String()
 }
 
+// artifactSchemaVersion stamps the "run" header so consumers can tell
+// artifact generations apart. History: 1 (implicit, PR 1) single-VM
+// experiment reports; 2 adds the version field itself and covers
+// fleet-shaped reports (the fleet experiment's per-cell rows and fleet.*
+// metrics namespaces).
+const artifactSchemaVersion = 2
+
 // Artifact line types. A run artifact is JSON lines: one "run" header with
 // the full configuration and seed set, one "trial" line per trial (with its
 // report, or the error that replaced it), and one "summary" trailer with the
 // wall-clock totals that deliberately stay out of the deterministic header.
 type artifactRun struct {
-	Type        string   `json:"type"` // "run"
-	BaseSeed    int64    `json:"base_seed"`
-	Reps        int      `json:"reps"`
-	Workers     int      `json:"workers"`
-	Scale       float64  `json:"scale"`
-	TimeoutMS   int64    `json:"timeout_ms,omitempty"`
-	Experiments []string `json:"experiments"`
-	Seeds       []int64  `json:"seeds"`
+	Type          string   `json:"type"` // "run"
+	SchemaVersion int      `json:"schema_version"`
+	BaseSeed      int64    `json:"base_seed"`
+	Reps          int      `json:"reps"`
+	Workers       int      `json:"workers"`
+	Scale         float64  `json:"scale"`
+	TimeoutMS     int64    `json:"timeout_ms,omitempty"`
+	Experiments   []string `json:"experiments"`
+	Seeds         []int64  `json:"seeds"`
 }
 
 type artifactTrial struct {
@@ -84,14 +92,15 @@ func (r *Result) WriteArtifact(w io.Writer) error {
 		ids[i] = r.Experiments[i].ID
 	}
 	if err := enc.Encode(artifactRun{
-		Type:        "run",
-		BaseSeed:    r.BaseSeed,
-		Reps:        r.Reps,
-		Workers:     r.Workers,
-		Scale:       r.Scale,
-		TimeoutMS:   r.Timeout.Milliseconds(),
-		Experiments: ids,
-		Seeds:       r.Seeds(),
+		Type:          "run",
+		SchemaVersion: artifactSchemaVersion,
+		BaseSeed:      r.BaseSeed,
+		Reps:          r.Reps,
+		Workers:       r.Workers,
+		Scale:         r.Scale,
+		TimeoutMS:     r.Timeout.Milliseconds(),
+		Experiments:   ids,
+		Seeds:         r.Seeds(),
 	}); err != nil {
 		return err
 	}

@@ -37,6 +37,7 @@ const (
 	pidHost   = 1
 	pidGuest  = 2
 	pidVSched = 3
+	pidFleet  = 4
 	// Synthetic guest tids for VM-wide instants.
 	tidBalance = 1000
 )
@@ -86,6 +87,7 @@ func (e *exporter) run() error {
 	e.meta(pidHost, -1, "process_name", "host")
 	e.meta(pidGuest, -1, "process_name", "guest")
 	e.meta(pidVSched, -1, "process_name", "vsched")
+	e.meta(pidFleet, -1, "process_name", "fleet")
 	e.meta(pidGuest, tidBalance, "thread_name", "balancer")
 
 	events := e.tr.Events()
@@ -265,6 +267,23 @@ func (e *exporter) event(ev *Event) {
 		}
 		e.instant(pidVSched, 2, ev.At, name, "vsched",
 			fmt.Sprintf("\"dur_ns\":%d,\"ok\":%d", ev.A1, ev.A2))
+
+	case KindVMArrive:
+		e.instant(pidFleet, 0, ev.At, "arrive:"+ev.Subject, "fleet",
+			fmt.Sprintf("\"vcpus\":%d", ev.A0))
+	case KindVMPlace:
+		name := "place:" + ev.Subject
+		if ev.A0 < 0 {
+			name = "reject:" + ev.Subject
+		}
+		e.instant(pidFleet, 0, ev.At, name, "fleet",
+			fmt.Sprintf("\"host\":%d,\"vcpus\":%d,\"committed\":%d", ev.A0, ev.A1, ev.A2))
+	case KindVMMigrate:
+		e.instant(pidFleet, 1, ev.At, "migrate:"+ev.Subject, "fleet",
+			fmt.Sprintf("\"src\":%d,\"dst\":%d,\"vcpus\":%d", ev.A0, ev.A1, ev.A2))
+	case KindVMExit:
+		e.instant(pidFleet, 0, ev.At, "exit:"+ev.Subject, "fleet",
+			fmt.Sprintf("\"host\":%d,\"vcpus\":%d", ev.A0, ev.A1))
 	}
 }
 
@@ -289,7 +308,7 @@ func (tr *Tracer) Summary() string {
 		return "vtrace: disabled\n"
 	}
 	events := tr.Events()
-	var counts [KindVtop + 1]uint64
+	var counts [numKinds]uint64
 	var first, last sim.Time
 	for i, ev := range events {
 		counts[ev.Kind]++
@@ -303,9 +322,9 @@ func (tr *Tracer) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "vtrace: %d events buffered (%d emitted, %d dropped), %v..%v\n",
 		len(events), tr.Total(), tr.Dropped(), first, last)
-	for _, cat := range []string{"host", "guest", "vsched"} {
+	for _, cat := range []string{"host", "guest", "vsched", "fleet"} {
 		var parts []string
-		for k := Kind(0); k <= KindVtop; k++ {
+		for k := Kind(0); k < numKinds; k++ {
 			if k.Category() == cat && counts[k] > 0 {
 				parts = append(parts, fmt.Sprintf("%s %d", k, counts[k]))
 			}

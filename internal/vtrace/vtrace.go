@@ -2,9 +2,10 @@
 // simulator. A ring-buffered Tracer records typed events from all four
 // layers — host scheduler (entity state transitions, preemptions,
 // throttling, steal intervals), guest scheduler (wakeups, context switches,
-// migrations, balance passes, SCHED_IDLE policy moves), and vSched
+// migrations, balance passes, SCHED_IDLE policy moves), vSched
 // (vCap/vAct probe samples, bvs placements, ivh interventions, vtop
-// updates) — each stamped with virtual time.
+// updates), and the fleet layer (VM arrivals, placement decisions, live
+// migrations, departures) — each stamped with virtual time.
 //
 // Everything is built for two properties:
 //
@@ -72,6 +73,20 @@ const (
 	// validation, A1=duration ns, A2=1 when the belief was confirmed (full
 	// probes always publish).
 	KindVtop
+	// KindVMArrive: a fleet VM arrival entered the placement pipeline.
+	// A0=vCPUs requested.
+	KindVMArrive
+	// KindVMPlace: fleet placement decision. A0=chosen host (-1 = rejected),
+	// A1=vCPUs, A2=committed vCPUs on the host after placement.
+	KindVMPlace
+	// KindVMMigrate: live migration between hosts. A0=src host, A1=dst host,
+	// A2=vCPUs moved.
+	KindVMMigrate
+	// KindVMExit: fleet VM departed. A0=host, A1=vCPUs released.
+	KindVMExit
+
+	// numKinds bounds per-kind arrays (Summary); keep it one past the last.
+	numKinds
 )
 
 func (k Kind) String() string {
@@ -108,18 +123,28 @@ func (k Kind) String() string {
 		return "ivh"
 	case KindVtop:
 		return "vtop"
+	case KindVMArrive:
+		return "vm-arrive"
+	case KindVMPlace:
+		return "vm-place"
+	case KindVMMigrate:
+		return "vm-migrate"
+	case KindVMExit:
+		return "vm-exit"
 	}
 	return "invalid"
 }
 
 // Category returns the simulation layer the kind belongs to: "host",
-// "guest" or "vsched".
+// "guest", "vsched" or "fleet".
 func (k Kind) Category() string {
 	switch k {
 	case KindEntityState, KindPreempt, KindThrottle, KindUnthrottle, KindSteal:
 		return "host"
 	case KindTaskWakeup, KindTaskOn, KindTaskOff, KindTaskMigrate, KindBalance, KindIdlePolicy:
 		return "guest"
+	case KindVMArrive, KindVMPlace, KindVMMigrate, KindVMExit:
+		return "fleet"
 	default:
 		return "vsched"
 	}
