@@ -31,8 +31,19 @@ go build ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/..."
-go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/...
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/...
+
+# Attribution smoke: the attrib experiment must produce byte-identical
+# reports across two runs of the same seed — the profiler is a deterministic
+# fold over the trace stream, and this catches any hidden-state leak the
+# in-package tests might scope too narrowly to see.
+echo "== attrib determinism smoke"
+go build -o /tmp/vexp_ci ./cmd/experiments
+/tmp/vexp_ci -run attrib -scale 0.1 -seed 7 > /tmp/vexp_attrib_a.txt
+/tmp/vexp_ci -run attrib -scale 0.1 -seed 7 > /tmp/vexp_attrib_b.txt
+cmp /tmp/vexp_attrib_a.txt /tmp/vexp_attrib_b.txt
+rm -f /tmp/vexp_ci /tmp/vexp_attrib_a.txt /tmp/vexp_attrib_b.txt
 
 # Examples smoke: every program under examples/ must not just compile but
 # run to completion — they are the documented entry points.

@@ -28,6 +28,7 @@ import (
 
 	"vsched/internal/experiments"
 	"vsched/internal/harness"
+	"vsched/internal/profiling"
 )
 
 func main() {
@@ -50,10 +51,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reps     = fs.Int("reps", 1, "replicate seeds per experiment; >1 adds mean±stddev [min,max] cells")
 		timeout  = fs.Duration("timeout", 0, "per-trial wall-clock budget (0 = none)")
 		out      = fs.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "profiling:", err)
+		}
+	}()
 
 	if *list || *runIDs == "" {
 		fmt.Fprintln(stdout, "available experiments:")

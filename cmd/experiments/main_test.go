@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -57,5 +59,45 @@ func TestUnknownFlagFails(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestProfilingFlags runs a tiny experiment with -cpuprofile/-memprofile and
+// checks both pprof files land on disk non-empty without perturbing stdout
+// (the report must stay byte-identical to an unprofiled run).
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	base := []string{"-run", "fig3", "-scale", "0.05", "-seed", "3"}
+
+	var plain, errb strings.Builder
+	if code := run(base, &plain, &errb); code != 0 {
+		t.Fatalf("baseline run exited %d: %s", code, errb.String())
+	}
+	var profiled strings.Builder
+	errb.Reset()
+	args := append([]string{"-cpuprofile", cpu, "-memprofile", mem}, base...)
+	if code := run(args, &profiled, &errb); code != 0 {
+		t.Fatalf("profiled run exited %d: %s", code, errb.String())
+	}
+	if plain.String() != profiled.String() {
+		t.Fatal("profiling flags changed the report output")
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+
+	errb.Reset()
+	var out strings.Builder
+	bad := append([]string{"-cpuprofile", filepath.Join(dir, "no", "dir", "x")}, base...)
+	if code := run(bad, &out, &errb); code != 1 {
+		t.Fatalf("unwritable -cpuprofile exited %d, want 1", code)
 	}
 }

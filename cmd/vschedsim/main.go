@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"vsched"
+	"vsched/internal/latprof"
+	"vsched/internal/profiling"
 	"vsched/internal/vtrace"
 )
 
@@ -55,10 +57,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeline     = fs.Bool("timeline", false, "print KernelShark-style per-vCPU activity strips at the end")
 		tracePath    = fs.String("trace", "", "write a Chrome/Perfetto trace of the whole run to this file")
 		metricsOut   = fs.Bool("metrics", false, "print the VM metrics registry snapshot at the end")
+		attrib       = fs.Bool("attrib", false, "print a per-cause latency attribution of the measurement window (adds an attribution track to -trace)")
+		cpuProf      = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf      = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "profiling:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Fprintln(stdout, "workloads:", strings.Join(vsched.WorkloadNames(), ", "))
@@ -154,6 +169,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		watchLoop(stdout, cl, vm, sched, warm+window)
 	}
 	cl.RunFor(warm)
+
+	// Latency attribution taps the event stream for the measurement window
+	// only, so warmup does not dilute the breakdown. The host gets an extra
+	// observer (host observers stack) and the VM tracer becomes a tee that
+	// keeps feeding the -trace ring, so the recorded trace is unchanged.
+	var prof *latprof.Profiler
+	if *attrib {
+		prof = latprof.New(latprof.Config{VM: "vm", NominalSpeed: cl.Host().Config().BaseSpeed})
+		vtrace.AttachHost(vtrace.NewObserver(prof.Observe), cl.Host())
+		ring := tracer
+		vm.SetTracer(vtrace.NewObserver(func(ev vtrace.Event) {
+			prof.Observe(ev)
+			ring.Emit(ev.At, ev.Kind, ev.Subject, ev.A0, ev.A1, ev.A2)
+		}))
+	}
 	var srv *vsched.Server
 	if s, ok := inst.(*vsched.Server); ok {
 		srv = s
@@ -202,8 +232,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "metrics:")
 		fmt.Fprint(stdout, vm.Metrics().Snapshot().String())
 	}
+	var extraTracks []vtrace.SpanTrack
+	if prof != nil {
+		p := prof.Finish(cl.Now())
+		if err := p.CheckConservation(); err != nil {
+			fmt.Fprintf(stderr, "attribution: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, p.String())
+		extraTracks = append(extraTracks, p.ChromeTrack())
+	}
 	if tracer != nil {
-		if err := writeTrace(*tracePath, tracer); err != nil {
+		if err := writeTrace(*tracePath, tracer, extraTracks...); err != nil {
 			fmt.Fprintf(stderr, "writing trace: %v\n", err)
 			return 1
 		}
@@ -214,12 +254,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func writeTrace(path string, tr *vtrace.Tracer) error {
+func writeTrace(path string, tr *vtrace.Tracer, extra ...vtrace.SpanTrack) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteChrome(f); err != nil {
+	if err := tr.WriteChrome(f, extra...); err != nil {
 		f.Close()
 		return err
 	}

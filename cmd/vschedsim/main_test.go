@@ -83,6 +83,55 @@ func TestTraceFileDeterministic(t *testing.T) {
 	}
 }
 
+// TestAttribFlag runs the golden scenario with -attrib: stdout gains a
+// deterministic per-cause breakdown whose shares come from a conserved
+// reconstruction (the run exits non-zero otherwise), and -trace grows an
+// "attribution" process with per-cause span args.
+func TestAttribFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "attrib.json")
+	args := append([]string{"-attrib", "-trace", path}, goldenArgs...)
+	capture := func() string {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	a := capture()
+	if a != capture() {
+		t.Fatal("-attrib output diverged across identical runs")
+	}
+	for _, want := range []string{"latprof vm:", "steal-wait", "run", "p95 ms"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("attribution report missing %q:\n%s", want, a)
+		}
+	}
+	trace, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"attribution"`, `"steal_wait_ns"`, `"wall_ns"`} {
+		if !bytes.Contains(trace, []byte(want)) {
+			t.Fatalf("trace missing attribution track marker %s", want)
+		}
+	}
+	// The recorded event stream must be unchanged by the tap: strip the
+	// attribution process and the remainder equals a -attrib-free trace.
+	plain := filepath.Join(dir, "plain.json")
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"-trace", plain}, goldenArgs...), &stdout, &stderr); code != 0 {
+		t.Fatalf("plain traced run exited %d: %s", code, stderr.String())
+	}
+	plainTrace, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(trace, plainTrace[:bytes.LastIndex(plainTrace, []byte("\n],"))]) {
+		t.Fatal("-attrib altered the recorded event stream (want: pure append of the attribution track)")
+	}
+}
+
 // TestUnknownFlagFails checks flag errors exit non-zero without touching
 // stdout.
 func TestUnknownFlagFails(t *testing.T) {

@@ -45,6 +45,15 @@ type Stats struct {
 	interrupted bool
 	regs        []labeledRegistry
 	regSeen     map[string]int
+	attrib      []labeledAttribution
+	attribSeen  map[string]int
+}
+
+// labeledAttribution is one flattened latency-attribution report under a
+// run-unique label.
+type labeledAttribution struct {
+	label string
+	flat  map[string]float64
 }
 
 // labeledRegistry is one VM's metrics registry under a run-unique label.
@@ -99,6 +108,48 @@ func (s *Stats) TrackRegistry(label string, reg *metrics.Registry) {
 		label = fmt.Sprintf("%s#%d", label, n+1)
 	}
 	s.regs = append(s.regs, labeledRegistry{label: label, reg: reg})
+}
+
+// TrackAttribution records one flattened latency-attribution profile (see
+// latprof.Profile.Flatten) under label, for the harness to embed in the
+// trial artifact. Repeated labels get a deterministic #n suffix, like
+// TrackRegistry. A nil receiver is a no-op.
+func (s *Stats) TrackAttribution(label string, flat map[string]float64) {
+	if s == nil || len(flat) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attribSeen == nil {
+		s.attribSeen = make(map[string]int)
+	}
+	n := s.attribSeen[label]
+	s.attribSeen[label] = n + 1
+	if n > 0 {
+		label = fmt.Sprintf("%s#%d", label, n+1)
+	}
+	s.attrib = append(s.attrib, labeledAttribution{label: label, flat: flat})
+}
+
+// AttributionSnapshot merges every tracked attribution report into one
+// label-prefixed map (nil when nothing was tracked). Only call after the
+// run's goroutine has finished.
+func (s *Stats) AttributionSnapshot() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out map[string]float64
+	for _, la := range s.attrib {
+		if out == nil {
+			out = make(map[string]float64, len(la.flat)*len(s.attrib))
+		}
+		for k, v := range la.flat {
+			out[la.label+"."+k] = v
+		}
+	}
+	return out
 }
 
 // MetricsSnapshot flattens every tracked registry into one label-prefixed
@@ -260,6 +311,7 @@ func Registry() []Runner {
 		{"fig21", "Overhead when abstraction is already accurate", Fig21},
 		{"probeacc", "Prober accuracy vs host ground truth", ProbeAccuracy},
 		{"fleet", "Fleet-scale placement: policy x guest on a 32-host cluster", FleetScale},
+		{"attrib", "Latency attribution: per-cause wall-time breakdown by config", Attrib},
 	}
 }
 

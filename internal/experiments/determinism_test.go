@@ -14,7 +14,7 @@ import (
 var fastDeterminismIDs = map[string]bool{
 	"fig3": true, "fig10a": true, "fig10b": true, "table2": true,
 	"fig11": true, "table4": true, "fig16": true, "fig20": true,
-	"probeacc": true, "fleet": true,
+	"probeacc": true, "fleet": true, "attrib": true,
 }
 
 // TestRegistryDeterminismTwice is the determinism regression suite: every

@@ -25,6 +25,7 @@ import (
 	"vsched/internal/core"
 	"vsched/internal/guest"
 	"vsched/internal/host"
+	"vsched/internal/latprof"
 	"vsched/internal/metrics"
 	"vsched/internal/sim"
 	"vsched/internal/vtrace"
@@ -64,6 +65,11 @@ type Config struct {
 	// Tracer, when non-nil, receives fleet events (and is attached to every
 	// host for entity-level events).
 	Tracer *vtrace.Tracer
+	// Attribution attaches a latency-attribution profiler (internal/latprof)
+	// to every placed VM and reports per-VM cause breakdowns in
+	// Result.Attribution plus fleet.attrib.* gauges. Observation only: the
+	// simulation is byte-identical with it on or off.
+	Attribution bool
 }
 
 // MigrationConfig tunes the live-migration controller: every Every it looks
@@ -100,6 +106,12 @@ type Result struct {
 	// Registry holds the fleet-wide instruments (fleet.* counters, the e2e
 	// histogram, steal gauge) for harness artifact embedding.
 	Registry *metrics.Registry
+	// Attribution maps VM name to its latency-attribution profile when
+	// Config.Attribution was set; nil otherwise. Cause classification is
+	// exact for every VM (it depends only on the VM's own entity and guest
+	// events); steal *blame* names are approximate for VMs that live-migrated
+	// (see the routing note on hostState.attribVMs).
+	Attribution map[string]*latprof.Profile
 }
 
 // hostState is one host plus the fleet's bookkeeping about it. Occupancy is
@@ -112,6 +124,16 @@ type hostState struct {
 	committed int
 	vms       []*fleetVM
 	stealEMA  float64
+	// attribVMs are the VMs *created* on this host, when attribution is on.
+	// Entity state-change notifications always fire on the creation host's
+	// observer list (host.Entity keeps its birth host even across live
+	// migration), so this — unlike vms — is the stable routing key for
+	// entity events, and is never mutated by migration or departure. The
+	// flip side: a migrated VM's profiler keeps listening here, where thread
+	// ids in events can numerically collide with the destination host's, so
+	// steal-blame names for migrated VMs are approximate (causes stay exact:
+	// they derive from the VM's own entity states, which follow the entity).
+	attribVMs []*fleetVM
 }
 
 // fleetVM is one placed VM with its lifecycle state.
@@ -131,6 +153,8 @@ type fleetVM struct {
 	// stealSeen is the telemetry baseline: total steal across the VM's
 	// vCPUs at the last sample, attributed to whichever host it sat on.
 	stealSeen sim.Duration
+	// prof is the VM's latency-attribution profiler (Config.Attribution).
+	prof *latprof.Profiler
 }
 
 // Fleet is a cluster under simulation. Build with New, inspect Engine, then
@@ -164,11 +188,25 @@ func New(cfg Config) *Fleet {
 	for i := 0; i < cfg.Hosts; i++ {
 		h := host.New(f.eng, cfg.HostConfig)
 		vtrace.AttachHost(cfg.Tracer, h)
-		f.hosts = append(f.hosts, &hostState{
+		hs := &hostState{
 			index: i,
 			h:     h,
 			occ:   make([]int, h.NumThreads()),
-		})
+		}
+		if cfg.Attribution {
+			// Fan the host's entity events out to the profilers of the VMs
+			// created here (see the attribVMs routing note). AttachHost only
+			// feeds host-kind events into the tap, so fanning to several
+			// profilers is safe: each VM's guest events arrive solely through
+			// its own tracer tee in arrive().
+			tap := vtrace.NewObserver(func(ev vtrace.Event) {
+				for _, vm := range hs.attribVMs {
+					vm.prof.Observe(ev)
+				}
+			})
+			vtrace.AttachHost(tap, h)
+		}
+		f.hosts = append(f.hosts, hs)
 	}
 	return f
 }
@@ -288,12 +326,24 @@ func (f *Fleet) arrive(a Arrival) {
 		hts[i] = hs.h.Thread(t)
 	}
 	gvm := guest.NewVM(hs.h, name, hts, guest.DefaultParams())
-	gvm.SetTracer(cfg.Tracer)
-	gvm.Start()
 	vm := &fleetVM{
 		id: a.ID, name: name, typ: a.Type,
 		hostIdx: hi, threads: threads, gvm: gvm, alive: true,
 	}
+	if cfg.Attribution {
+		prof := latprof.New(latprof.Config{VM: name, NominalSpeed: hs.h.Config().BaseSpeed})
+		vm.prof = prof
+		// Tee the VM's guest events into its profiler while preserving the
+		// shared tracer stream (Emit is nil-safe when no tracer is set).
+		gvm.SetTracer(vtrace.NewObserver(func(ev vtrace.Event) {
+			prof.Observe(ev)
+			cfg.Tracer.Emit(ev.At, ev.Kind, ev.Subject, ev.A0, ev.A1, ev.A2)
+		}))
+		hs.attribVMs = append(hs.attribVMs, vm)
+	} else {
+		gvm.SetTracer(cfg.Tracer)
+	}
+	gvm.Start()
 	if cfg.VSched {
 		p := core.DefaultParams()
 		p.NominalSpeed = hs.h.Config().BaseSpeed
@@ -392,5 +442,25 @@ func (f *Fleet) collect(arr []Arrival) *Result {
 	}
 	f.reg.Gauge("fleet.steal_seconds").Set(float64(r.Steal) / 1e9)
 	f.reg.Counter("fleet.ops").Add(r.Ops)
+	if f.cfg.Attribution {
+		r.Attribution = make(map[string]*latprof.Profile, len(f.vms))
+		now := f.eng.Now()
+		for _, vm := range f.vms {
+			p := vm.prof.Finish(now)
+			// The conservation invariant holds fleet-wide, not just in the
+			// scripted single-VM rigs: every span's components sum to its
+			// wall time even across organic contention and live migration.
+			if err := p.CheckConservation(); err != nil {
+				panic(err)
+			}
+			r.Attribution[vm.name] = p
+			tot := p.Totals()
+			pre := "fleet.attrib." + vm.name + "."
+			for _, c := range latprof.Causes() {
+				f.reg.Gauge(pre + c.Key() + "_ns").Set(float64(tot.NS[c]))
+			}
+			f.reg.Gauge(pre + "spans").Set(float64(len(p.Spans)))
+		}
+	}
 	return r
 }

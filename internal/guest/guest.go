@@ -305,7 +305,7 @@ func (vm *VM) Spawn(name string, b Behavior, opts ...TaskOpt) *Task {
 	t.cpu = first
 	vm.ctr.wakeups.Inc()
 	t.wakeups++
-	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskWakeup, t.name, int64(t.id), int64(first.id), 0)
+	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskWakeup, t.name, int64(t.id), int64(first.id), -1)
 	vm.enqueue(first, t, nil)
 	return t
 }
@@ -343,7 +343,13 @@ func (vm *VM) wakeTaskWide(t *Task, waker *VCPU, wide bool) {
 			t.commDebt += vm.params.CommPenaltyCross
 		}
 	}
-	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskWakeup, t.name, int64(t.id), int64(target.id), 0)
+	// The waker's current task, when there is one, is what the attribution
+	// profiler's critical-path view chains through.
+	wakerID := int64(-1)
+	if waker != nil && waker.curr != nil {
+		wakerID = int64(waker.curr.id)
+	}
+	vm.tr.Emit(vm.eng.Now(), vtrace.KindTaskWakeup, t.name, int64(t.id), int64(target.id), wakerID)
 	vm.enqueue(target, t, waker)
 }
 
@@ -440,11 +446,16 @@ func (vm *VM) KickVCPU(v *VCPU) {
 // between two hardware threads (cache refill on the destination).
 func (vm *VM) chargeMigrationCost(t *Task, src, dst *VCPU) {
 	rel := vm.h.Relation(src.ent.Thread().ID(), dst.ent.Thread().ID())
+	var cost float64
 	switch rel {
 	case cachemodel.Socket:
-		t.commDebt += vm.params.CommPenaltySocket
+		cost = vm.params.CommPenaltySocket
 	case cachemodel.Cross:
-		t.commDebt += vm.params.CommPenaltyCross
+		cost = vm.params.CommPenaltyCross
+	}
+	if cost > 0 {
+		t.commDebt += cost
+		vm.tr.Emit(vm.eng.Now(), vtrace.KindMigCost, t.name, int64(t.id), int64(cost), 0)
 	}
 }
 

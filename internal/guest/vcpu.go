@@ -25,6 +25,9 @@ type VCPU struct {
 	speed      float64  // cycles per ns while active
 	execMark   sim.Time // last integration point for curr's progress
 	compEv     *sim.Event
+	// lastSpeedMicro is the last KindVCPUSpeed value emitted, so redundant
+	// resumes at an unchanged speed don't flood the trace ring.
+	lastSpeedMicro int64
 
 	// --- guest scheduler state ---
 	curr        *Task
@@ -105,7 +108,16 @@ func (v *VCPU) uninstallCurr() {
 	if t.footprint > 0 {
 		v.vm.llcLoad[v.llcSocket] -= t.footprint
 	}
-	v.vm.tr.Emit(v.vm.eng.Now(), vtrace.KindTaskOff, t.name, int64(v.id), int64(t.id), 0)
+	// A2 tells attribution consumers whether the task left the CPU still
+	// wanting it (preemption, yield, migration pull) or stopped needing it
+	// (block, exit). Every caller that blocks/exits sets the task state
+	// before uninstalling; the still-runnable paths leave it Running or set
+	// Runnable first.
+	still := int64(0)
+	if t.state == TaskRunning || t.state == TaskRunnable {
+		still = 1
+	}
+	v.vm.tr.Emit(v.vm.eng.Now(), vtrace.KindTaskOff, t.name, int64(v.id), int64(t.id), still)
 	v.curr = nil
 }
 
@@ -222,6 +234,7 @@ func (v *VCPU) Resumed(now sim.Time, speed float64) {
 	v.hostActive = true
 	v.speed = speed
 	v.execMark = now
+	v.emitSpeed(now, speed)
 	v.scheduleCompletion()
 	// Interrupt delivery, deferred ticks and rescheduling happen "on the
 	// vCPU" as soon as it runs again; the zero-delay event keeps us out of
@@ -243,7 +256,24 @@ func (v *VCPU) Stopped(now sim.Time) {
 func (v *VCPU) SpeedChanged(now sim.Time, speed float64) {
 	v.syncExec()
 	v.speed = speed
+	v.emitSpeed(now, speed)
 	v.scheduleCompletion()
+}
+
+// emitSpeed traces the vCPU's effective speed in integer millionths of a
+// cycle/ns, deduplicated: a resume at an unchanged speed emits nothing, so
+// halting workloads don't flood the ring. Attribution consumers cache the
+// last value per vCPU, which deduplication keeps exact.
+func (v *VCPU) emitSpeed(now sim.Time, speed float64) {
+	if v.vm.tr == nil {
+		return
+	}
+	micro := int64(speed*1e6 + 0.5)
+	if micro == v.lastSpeedMicro {
+		return
+	}
+	v.lastSpeedMicro = micro
+	v.vm.tr.Emit(now, vtrace.KindVCPUSpeed, v.vm.name, int64(v.id), micro, 0)
 }
 
 // onResumeWork drains everything that was waiting for the vCPU to really

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,18 +33,22 @@ func (r *Result) Text() string {
 	return b.String()
 }
 
-// artifactSchemaVersion stamps the "run" header so consumers can tell
+// ArtifactSchemaVersion stamps the "run" header so consumers can tell
 // artifact generations apart. History: 1 (implicit, PR 1) single-VM
 // experiment reports; 2 adds the version field itself and covers
 // fleet-shaped reports (the fleet experiment's per-cell rows and fleet.*
-// metrics namespaces).
-const artifactSchemaVersion = 2
+// metrics namespaces); 3 adds the per-trial "attribution" map (flattened
+// latency-attribution profiles, keyed "<profile-label>.<metric>") and is
+// otherwise a strict superset of 2.
+const ArtifactSchemaVersion = 3
 
 // Artifact line types. A run artifact is JSON lines: one "run" header with
 // the full configuration and seed set, one "trial" line per trial (with its
 // report, or the error that replaced it), and one "summary" trailer with the
 // wall-clock totals that deliberately stay out of the deterministic header.
-type artifactRun struct {
+// The record types are exported so downstream analysis tooling can decode
+// artifacts without re-declaring the schema; ReadArtifact does exactly that.
+type RunRecord struct {
 	Type          string   `json:"type"` // "run"
 	SchemaVersion int      `json:"schema_version"`
 	BaseSeed      int64    `json:"base_seed"`
@@ -55,28 +60,31 @@ type artifactRun struct {
 	Seeds         []int64  `json:"seeds"`
 }
 
-type artifactTrial struct {
-	Type       string              `json:"type"` // "trial"
-	Experiment string              `json:"experiment"`
-	Replicate  int                 `json:"replicate"`
-	Seed       int64               `json:"seed"`
-	WallMS     float64             `json:"wall_ms"`
-	Events     uint64              `json:"events"`
-	Engines    int                 `json:"engines"`
-	Err        string              `json:"err,omitempty"`
-	TimedOut   bool                `json:"timed_out,omitempty"`
-	Metrics    map[string]float64  `json:"metrics,omitempty"`
-	Report     *experiments.Report `json:"report,omitempty"`
+type TrialRecord struct {
+	Type       string             `json:"type"` // "trial"
+	Experiment string             `json:"experiment"`
+	Replicate  int                `json:"replicate"`
+	Seed       int64              `json:"seed"`
+	WallMS     float64            `json:"wall_ms"`
+	Events     uint64             `json:"events"`
+	Engines    int                `json:"engines"`
+	Err        string             `json:"err,omitempty"`
+	TimedOut   bool               `json:"timed_out,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// Attribution is the flattened latency-attribution snapshot of every
+	// profile the trial tracked (schema >= 3); absent in older artifacts.
+	Attribution map[string]float64  `json:"attribution,omitempty"`
+	Report      *experiments.Report `json:"report,omitempty"`
 }
 
-type artifactAggregate struct {
+type AggregateRecord struct {
 	Type       string              `json:"type"` // "aggregate"
 	Experiment string              `json:"experiment"`
 	Reps       int                 `json:"reps"`
 	Report     *experiments.Report `json:"report"`
 }
 
-type artifactSummary struct {
+type SummaryRecord struct {
 	Type   string  `json:"type"` // "summary"
 	WallMS float64 `json:"wall_ms"`
 	Events uint64  `json:"events"`
@@ -91,9 +99,9 @@ func (r *Result) WriteArtifact(w io.Writer) error {
 	for i := range r.Experiments {
 		ids[i] = r.Experiments[i].ID
 	}
-	if err := enc.Encode(artifactRun{
+	if err := enc.Encode(RunRecord{
 		Type:          "run",
-		SchemaVersion: artifactSchemaVersion,
+		SchemaVersion: ArtifactSchemaVersion,
 		BaseSeed:      r.BaseSeed,
 		Reps:          r.Reps,
 		Workers:       r.Workers,
@@ -108,24 +116,25 @@ func (r *Result) WriteArtifact(w io.Writer) error {
 		ex := &r.Experiments[i]
 		for j := range ex.Trials {
 			t := &ex.Trials[j]
-			if err := enc.Encode(artifactTrial{
-				Type:       "trial",
-				Experiment: t.ExperimentID,
-				Replicate:  t.Replicate,
-				Seed:       t.Seed,
-				WallMS:     float64(t.WallTime.Microseconds()) / 1000,
-				Events:     t.Events,
-				Engines:    t.Engines,
-				Err:        t.Err,
-				TimedOut:   t.TimedOut,
-				Metrics:    t.Metrics,
-				Report:     t.Report,
+			if err := enc.Encode(TrialRecord{
+				Type:        "trial",
+				Experiment:  t.ExperimentID,
+				Replicate:   t.Replicate,
+				Seed:        t.Seed,
+				WallMS:      float64(t.WallTime.Microseconds()) / 1000,
+				Events:      t.Events,
+				Engines:     t.Engines,
+				Err:         t.Err,
+				TimedOut:    t.TimedOut,
+				Metrics:     t.Metrics,
+				Attribution: t.Attribution,
+				Report:      t.Report,
 			}); err != nil {
 				return err
 			}
 		}
 		if r.Reps > 1 && ex.Aggregate != nil {
-			if err := enc.Encode(artifactAggregate{
+			if err := enc.Encode(AggregateRecord{
 				Type:       "aggregate",
 				Experiment: ex.ID,
 				Reps:       len(ex.Trials),
@@ -135,11 +144,78 @@ func (r *Result) WriteArtifact(w io.Writer) error {
 			}
 		}
 	}
-	return enc.Encode(artifactSummary{
+	return enc.Encode(SummaryRecord{
 		Type:   "summary",
 		WallMS: float64(r.WallTime.Microseconds()) / 1000,
 		Events: r.EventsFired(),
 		Trials: r.Trials(),
 		Failed: r.Failed(),
 	})
+}
+
+// Artifact is a decoded run artifact, in stream order.
+type Artifact struct {
+	Run        RunRecord
+	Trials     []TrialRecord
+	Aggregates []AggregateRecord
+	Summary    *SummaryRecord
+}
+
+// ReadArtifact decodes a JSONL artifact produced by any schema version so
+// far. Version 1 predates the schema_version field and decodes with
+// SchemaVersion 1; version 2 lacks the attribution map (left nil); unknown
+// line types are skipped, so newer minor additions stay readable too.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	a := &Artifact{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26) // report rows can be wide
+	sawRun := false
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Bytes()
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			return nil, fmt.Errorf("artifact line %d: %w", n, err)
+		}
+		var err error
+		switch head.Type {
+		case "run":
+			err = json.Unmarshal(line, &a.Run)
+			if a.Run.SchemaVersion == 0 {
+				a.Run.SchemaVersion = 1 // v1 had no schema_version field
+			}
+			sawRun = true
+		case "trial":
+			var t TrialRecord
+			if err = json.Unmarshal(line, &t); err == nil {
+				a.Trials = append(a.Trials, t)
+			}
+		case "aggregate":
+			var ag AggregateRecord
+			if err = json.Unmarshal(line, &ag); err == nil {
+				a.Aggregates = append(a.Aggregates, ag)
+			}
+		case "summary":
+			var s SummaryRecord
+			if err = json.Unmarshal(line, &s); err == nil {
+				a.Summary = &s
+			}
+		default:
+			// Forward compatibility: ignore record types this reader predates.
+		}
+		if err != nil {
+			return nil, fmt.Errorf("artifact line %d (%s): %w", n, head.Type, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawRun {
+		return nil, fmt.Errorf("artifact: no run header found")
+	}
+	return a, nil
 }

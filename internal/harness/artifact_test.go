@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vsched/internal/experiments"
+)
+
+// attribRunner is a synthetic runner that tracks an attribution snapshot, so
+// the artifact round-trip exercises the schema-3 trial field.
+func attribRunner(id string) experiments.Runner {
+	r := synthetic(id)
+	inner := r.Run
+	r.Run = func(o experiments.Options) *experiments.Report {
+		o.Stats.TrackAttribution(id+"/vm", map[string]float64{
+			"spans":            12,
+			"steal_wait_share": 0.25,
+		})
+		return inner(o)
+	}
+	return r
+}
+
+// TestArtifactRoundTrip writes a schema-3 artifact and reads it back with
+// ReadArtifact: header, per-trial attribution, aggregates and summary must
+// all survive the trip.
+func TestArtifactRoundTrip(t *testing.T) {
+	res := Run(Config{
+		Runners:  []experiments.Runner{attribRunner("synA"), synthetic("synB")},
+		BaseSeed: 7, Reps: 2, Workers: 2,
+	})
+	var buf bytes.Buffer
+	if err := res.WriteArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Run.SchemaVersion != ArtifactSchemaVersion {
+		t.Fatalf("schema %d want %d", a.Run.SchemaVersion, ArtifactSchemaVersion)
+	}
+	if a.Run.BaseSeed != 7 || len(a.Run.Seeds) != 4 {
+		t.Fatalf("run header %+v", a.Run)
+	}
+	if len(a.Trials) != 4 {
+		t.Fatalf("want 4 trials, got %d", len(a.Trials))
+	}
+	for _, tr := range a.Trials {
+		if tr.Report == nil {
+			t.Fatalf("trial %s/%d lost its report", tr.Experiment, tr.Replicate)
+		}
+		switch tr.Experiment {
+		case "synA":
+			if got := tr.Attribution["synA/vm.steal_wait_share"]; got != 0.25 {
+				t.Fatalf("attribution lost: %v", tr.Attribution)
+			}
+		case "synB":
+			if tr.Attribution != nil {
+				t.Fatalf("synB tracked no attribution, got %v", tr.Attribution)
+			}
+		}
+	}
+	if len(a.Aggregates) != 2 {
+		t.Fatalf("want 2 aggregates, got %d", len(a.Aggregates))
+	}
+	if a.Summary == nil || a.Summary.Trials != 4 || a.Summary.Failed != 0 {
+		t.Fatalf("summary %+v", a.Summary)
+	}
+}
+
+// v2Artifact is a canned schema-2 artifact (pre-attribution), byte-for-byte
+// in the shape WriteArtifact produced before the bump. The reader must stay
+// able to decode it forever.
+const v2Artifact = `{"type":"run","schema_version":2,"base_seed":42,"reps":1,"workers":4,"scale":1,"experiments":["fig3"],"seeds":[42]}
+{"type":"trial","experiment":"fig3","replicate":0,"seed":42,"wall_ms":12.5,"events":1000,"engines":1,"metrics":{"vm.sched.steals":3},"report":{"ID":"fig3","Title":"t","Header":["a"],"Rows":[["1"]]}}
+{"type":"summary","wall_ms":13.1,"events":1000,"trials":1,"failed":0}
+`
+
+// v1Artifact predates the schema_version field entirely.
+const v1Artifact = `{"type":"run","base_seed":1,"reps":1,"workers":1,"scale":1,"experiments":["fig3"],"seeds":[1]}
+{"type":"trial","experiment":"fig3","replicate":0,"seed":1,"wall_ms":1,"events":10,"engines":1}
+{"type":"summary","wall_ms":1,"events":10,"trials":1,"failed":1}
+`
+
+func TestReadArtifactBackwardCompat(t *testing.T) {
+	a, err := ReadArtifact(strings.NewReader(v2Artifact))
+	if err != nil {
+		t.Fatalf("v2 artifact must stay readable: %v", err)
+	}
+	if a.Run.SchemaVersion != 2 {
+		t.Fatalf("v2 schema read as %d", a.Run.SchemaVersion)
+	}
+	if len(a.Trials) != 1 {
+		t.Fatalf("v2 trials %d", len(a.Trials))
+	}
+	tr := a.Trials[0]
+	if tr.Attribution != nil {
+		t.Fatalf("v2 trial must decode with nil attribution, got %v", tr.Attribution)
+	}
+	if tr.Metrics["vm.sched.steals"] != 3 || tr.Report == nil || tr.Report.ID != "fig3" {
+		t.Fatalf("v2 trial fields lost: %+v", tr)
+	}
+	if a.Summary == nil || a.Summary.Trials != 1 {
+		t.Fatalf("v2 summary %+v", a.Summary)
+	}
+
+	a, err = ReadArtifact(strings.NewReader(v1Artifact))
+	if err != nil {
+		t.Fatalf("v1 artifact must stay readable: %v", err)
+	}
+	if a.Run.SchemaVersion != 1 {
+		t.Fatalf("v1 must normalise to schema 1, got %d", a.Run.SchemaVersion)
+	}
+}
+
+func TestReadArtifactRejectsGarbage(t *testing.T) {
+	if _, err := ReadArtifact(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if _, err := ReadArtifact(strings.NewReader(`{"type":"summary","trials":1}` + "\n")); err == nil {
+		t.Fatal("artifact without a run header must error")
+	}
+	// Unknown record types from future schema versions are skipped, not fatal.
+	future := v2Artifact + `{"type":"hologram","x":1}` + "\n"
+	if _, err := ReadArtifact(strings.NewReader(future)); err != nil {
+		t.Fatalf("unknown record type must be skipped: %v", err)
+	}
+}
+
+// TestHarnessAttributionFlows runs the real attrib experiment once through
+// the harness at a tiny scale and checks the flattened attribution reaches
+// the trial result and the artifact.
+func TestHarnessAttributionFlows(t *testing.T) {
+	r, ok := experiments.ByID("attrib")
+	if !ok {
+		t.Fatal("attrib experiment missing from registry")
+	}
+	res := Run(Config{Runners: []experiments.Runner{r}, BaseSeed: 42, Scale: 0.05, Workers: 1})
+	tr := &res.Experiments[0].Trials[0]
+	if !tr.OK() {
+		t.Fatalf("attrib trial failed: %s", tr.Err)
+	}
+	if len(tr.Attribution) == 0 {
+		t.Fatal("attrib trial produced no attribution snapshot")
+	}
+	want := "attrib/balanced-5ms/baseline.steal_wait_share"
+	if _, ok := tr.Attribution[want]; !ok {
+		keys := make([]string, 0, len(tr.Attribution))
+		for k := range tr.Attribution {
+			keys = append(keys, k)
+		}
+		t.Fatalf("attribution missing %q (have e.g. %v)", want, keys[:min(4, len(keys))])
+	}
+	var buf bytes.Buffer
+	if err := res.WriteArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Trials[0].Attribution[want]; got != tr.Attribution[want] {
+		t.Fatalf("artifact attribution %v != trial %v", got, tr.Attribution[want])
+	}
+}

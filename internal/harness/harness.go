@@ -98,6 +98,10 @@ type TrialResult struct {
 	// trial built, keyed "<vm-label>.<instrument>"; nil when the trial
 	// deployed no VMs or was abandoned.
 	Metrics map[string]float64
+	// Attribution is the flattened snapshot of every latency-attribution
+	// profile the trial tracked (experiments that run latprof), keyed
+	// "<profile-label>.<metric>"; nil when the trial tracked none.
+	Attribution map[string]float64
 }
 
 // OK reports whether the trial produced a report.
@@ -268,6 +272,7 @@ func runTrial(slot *TrialResult, r experiments.Runner, cfg Config) {
 		slot.Events = stats.EventsFired()
 		slot.Engines = stats.Engines()
 		slot.Metrics = stats.MetricsSnapshot()
+		slot.Attribution = stats.AttributionSnapshot()
 		slot.TimedOut = timedOut
 		switch {
 		case timedOut:

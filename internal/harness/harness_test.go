@@ -239,8 +239,8 @@ func TestArtifactStream(t *testing.T) {
 		types = append(types, line["type"].(string))
 		switch line["type"] {
 		case "run":
-			if v, ok := line["schema_version"].(float64); !ok || int(v) != artifactSchemaVersion {
-				t.Fatalf("schema_version %v, want %d", line["schema_version"], artifactSchemaVersion)
+			if v, ok := line["schema_version"].(float64); !ok || int(v) != ArtifactSchemaVersion {
+				t.Fatalf("schema_version %v, want %d", line["schema_version"], ArtifactSchemaVersion)
 			}
 			if int64(line["base_seed"].(float64)) != 5 {
 				t.Fatalf("base_seed %v", line["base_seed"])

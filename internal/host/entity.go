@@ -211,8 +211,8 @@ func (e *Entity) setState(to EntityState) {
 	for _, fn := range e.observers {
 		fn(now, from, to)
 	}
-	if e.host.observer != nil {
-		e.host.observer(e, now, from, to)
+	for _, fn := range e.host.observers {
+		fn(e, now, from, to)
 	}
 }
 

@@ -80,10 +80,11 @@ type Host struct {
 	// busyCoreCount[s] is the number of cores in socket s with at least one
 	// running entity; maintained incrementally for the turbo model.
 	busyCoreCount []int
-	// observer, if set, sees every state transition of every entity —
-	// including entities created after it was installed. The vtrace package
-	// taps the whole host through this single hook.
-	observer func(e *Entity, now sim.Time, from, to EntityState)
+	// observers see every state transition of every entity — including
+	// entities created after they were installed. The vtrace package taps
+	// the whole host through this hook; several tracers (or a tracer plus a
+	// latency-attribution profiler) may stack.
+	observers []func(e *Entity, now sim.Time, from, to EntityState)
 }
 
 // New builds a host with the given configuration. It validates the topology
@@ -168,12 +169,22 @@ func (h *Host) Relation(a, b ThreadID) cachemodel.Relation {
 // Entities returns all entities ever registered (vCPUs and contenders).
 func (h *Host) Entities() []*Entity { return h.entities }
 
-// SetObserver installs a host-wide state-transition observer. It fires after
-// any per-entity observers, for every entity — including ones created later.
-// Observers must not synchronously change schedulability (same contract as
-// Client callbacks). Pass nil to remove.
+// SetObserver replaces all host-wide state-transition observers with fn.
+// Observers fire after any per-entity observers, for every entity —
+// including ones created later — and must not synchronously change
+// schedulability (same contract as Client callbacks). Pass nil to remove.
 func (h *Host) SetObserver(fn func(e *Entity, now sim.Time, from, to EntityState)) {
-	h.observer = fn
+	if fn == nil {
+		h.observers = nil
+		return
+	}
+	h.observers = []func(e *Entity, now sim.Time, from, to EntityState){fn}
+}
+
+// AddObserver appends a host-wide state-transition observer without
+// disturbing observers already installed. Same contract as SetObserver.
+func (h *Host) AddObserver(fn func(e *Entity, now sim.Time, from, to EntityState)) {
+	h.observers = append(h.observers, fn)
 }
 
 // busyCores returns the number of busy cores in socket s (maintained

@@ -1,0 +1,559 @@
+// Package latprof is the cross-layer latency attribution profiler: it
+// consumes a vtrace event stream (live through a tracer observer, or
+// post-hoc from the ring) and reconstructs, for every guest task, *why* its
+// wall time went where. Each task span — wakeup to block/exit — is
+// decomposed into a conserved breakdown:
+//
+//	run            the task really executed at full effective speed
+//	runnable-wait  queued behind sibling tasks on a host-running vCPU
+//	steal-wait     the task's vCPU was descheduled by the hypervisor,
+//	               attributed to the specific contender entity holding the
+//	               hardware thread at the time
+//	throttle-wait  the vCPU was barred by CPU bandwidth quota
+//	migration      working-set transfer cost charged by task migrations
+//	smt-slowdown   run time lost because the effective speed was below
+//	               nominal (SMT sibling activity, LLC pressure)
+//
+// The invariant is exact conservation in virtual nanoseconds: the six
+// components of a span always sum to its wall time. Every interval between
+// two consecutive events lands in exactly one component, and sub-interval
+// splits (run vs smt-slowdown, run vs migration) derive one side by
+// subtraction, so no rounding can leak a nanosecond.
+//
+// Approximations, documented rather than hidden: a Runnable entity
+// repinned across hardware threads emits no state transition, so
+// steal-blame can lag one event behind; migration cost is modelled as the
+// working-set debt carved out of the task's subsequent run time, matching
+// how the guest charges commDebt; wakeup communication cost (waker pulling
+// the wakee's working set) is deliberately counted as run, not migration.
+//
+// Determinism: the profiler is a pure fold over the event stream. Feeding
+// the same events yields byte-identical reports; all aggregation orders are
+// explicit (task id, name, or span order), never map order.
+package latprof
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"vsched/internal/host"
+	"vsched/internal/sim"
+	"vsched/internal/vtrace"
+)
+
+// Config selects which VM the profiler reconstructs and how to judge speed.
+type Config struct {
+	// VM is the VM name; entity events for "<VM>/vcpuN" and guest events
+	// are attributed to it. The guest event stream fed to Observe must be
+	// this VM's (host entity events may cover the whole host).
+	VM string
+	// NominalSpeed is the uncontended execution speed in cycles/ns (the
+	// host's base speed). Run time at a lower effective speed splits into
+	// run + smt-slowdown against this reference, and migration cycle costs
+	// convert to nanoseconds through it. <= 0 disables both refinements:
+	// all running time counts as run and migration cost stays zero.
+	NominalSpeed float64
+}
+
+// Cause indexes the components of a Breakdown.
+type Cause int
+
+const (
+	Run Cause = iota
+	RunnableWait
+	StealWait
+	ThrottleWait
+	Migration
+	SMTSlowdown
+	numCauses
+)
+
+func (c Cause) String() string {
+	switch c {
+	case Run:
+		return "run"
+	case RunnableWait:
+		return "runnable-wait"
+	case StealWait:
+		return "steal-wait"
+	case ThrottleWait:
+		return "throttle-wait"
+	case Migration:
+		return "migration"
+	case SMTSlowdown:
+		return "smt-slowdown"
+	}
+	return "invalid"
+}
+
+// Key returns the snake_case metric key of the cause.
+func (c Cause) Key() string { return strings.ReplaceAll(c.String(), "-", "_") }
+
+// Causes returns all causes in canonical report order.
+func Causes() []Cause {
+	return []Cause{Run, RunnableWait, StealWait, ThrottleWait, Migration, SMTSlowdown}
+}
+
+// Breakdown is a conserved decomposition of wall time by cause.
+type Breakdown struct {
+	NS [numCauses]sim.Duration
+}
+
+// Get returns the component for a cause.
+func (b *Breakdown) Get(c Cause) sim.Duration { return b.NS[c] }
+
+// Total returns the sum of all components.
+func (b *Breakdown) Total() sim.Duration {
+	var t sim.Duration
+	for _, d := range b.NS {
+		t += d
+	}
+	return t
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o *Breakdown) {
+	for i := range b.NS {
+		b.NS[i] += o.NS[i]
+	}
+}
+
+// Share returns the cause's fraction of the total (0 when empty).
+func (b *Breakdown) Share(c Cause) float64 {
+	t := b.Total()
+	if t <= 0 {
+		return 0
+	}
+	return float64(b.NS[c]) / float64(t)
+}
+
+// Blame names a host entity and how much steal-wait it inflicted.
+type Blame struct {
+	Entity string
+	Wait   sim.Duration
+}
+
+// Span is one reconstructed task activation: wakeup to block/exit.
+type Span struct {
+	Task   string
+	TaskID int64
+	Start  sim.Time
+	End    sim.Time
+	Breakdown
+	// StealBy attributes StealWait to the host entities that held the
+	// hardware thread, largest first ("(unknown)" when the holder was not
+	// visible in the stream).
+	StealBy []Blame
+	// WakerID is the task id whose wakeup opened this span, -1 when the
+	// wakeup was external (spawn, timer, IRQ).
+	WakerID int64
+	// Migrations counts cross-vCPU moves during the span.
+	Migrations int
+}
+
+// Wall returns the span's wall time.
+func (s *Span) Wall() sim.Duration { return s.End.Sub(s.Start) }
+
+// vcpuState caches the host-side view of one vCPU of the profiled VM.
+type vcpuState struct {
+	state      host.EntityState
+	known      bool // saw at least one entity event
+	thread     int64
+	haveThread bool
+	speedMicro int64 // last traced effective speed; 0 = assume nominal
+}
+
+// taskState is an open span under reconstruction.
+type taskState struct {
+	id      int64
+	vcpu    int
+	running bool
+	since   sim.Time
+	span    Span
+	stealBy map[string]sim.Duration
+	// migDebt is traced migration cost (ns at nominal speed) not yet
+	// carved out of subsequent run time.
+	migDebt sim.Duration
+	// truncated marks a span first seen mid-stream (its wakeup predates
+	// the tap or was dropped); it is reconstructed but excluded from
+	// aggregates.
+	truncated bool
+}
+
+// Profiler folds a vtrace event stream into attribution spans. Feed events
+// with Observe (hook it to a tracer with vtrace.NewObserver or SetObserver),
+// then call Finish. The zero Profiler is not usable; call New.
+type Profiler struct {
+	cfg      Config
+	vmPrefix string
+
+	tasks map[int64]*taskState
+	vcpus map[int]*vcpuState
+	// threadRunner names the entity currently Running on each hardware
+	// thread — the steal-blame source.
+	threadRunner map[int64]string
+	// entThread is the last-seen home thread of every host entity.
+	entThread map[string]int64
+
+	spans     []Span
+	truncated int
+	lastAt    sim.Time
+}
+
+// New returns a profiler for one VM.
+func New(cfg Config) *Profiler {
+	return &Profiler{
+		cfg:          cfg,
+		vmPrefix:     cfg.VM + "/vcpu",
+		tasks:        map[int64]*taskState{},
+		vcpus:        map[int]*vcpuState{},
+		threadRunner: map[int64]string{},
+		entThread:    map[string]int64{},
+	}
+}
+
+// Observe folds one event. Events must arrive in non-decreasing time order
+// (the order every tracer emits them in).
+func (p *Profiler) Observe(ev vtrace.Event) {
+	if ev.At > p.lastAt {
+		p.lastAt = ev.At
+	}
+	switch ev.Kind {
+	case vtrace.KindEntityState:
+		p.entityEvent(ev)
+	case vtrace.KindVCPUSpeed:
+		if ev.Subject == p.cfg.VM {
+			p.speedEvent(ev)
+		}
+	case vtrace.KindTaskWakeup:
+		p.wakeup(ev)
+	case vtrace.KindTaskOn:
+		p.taskOn(ev)
+	case vtrace.KindTaskOff:
+		p.taskOff(ev)
+	case vtrace.KindTaskMigrate:
+		p.migrate(ev)
+	case vtrace.KindMigCost:
+		p.migCost(ev)
+	}
+}
+
+// vcpuIndex parses "<VM>/vcpuN" subjects; ok is false for entities of other
+// VMs and synthetic contenders.
+func (p *Profiler) vcpuIndex(subject string) (int, bool) {
+	if !strings.HasPrefix(subject, p.vmPrefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(subject[len(p.vmPrefix):])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func (p *Profiler) vcpu(i int) *vcpuState {
+	vs := p.vcpus[i]
+	if vs == nil {
+		vs = &vcpuState{}
+		p.vcpus[i] = vs
+	}
+	return vs
+}
+
+// entityEvent tracks host entity transitions: vCPU states of the profiled
+// VM, and the Running occupant of every hardware thread (blame source).
+func (p *Profiler) entityEvent(ev vtrace.Event) {
+	subj := ev.Subject
+	to := host.EntityState(ev.A1)
+	newT := ev.A2
+	oldT, hadT := p.entThread[subj]
+
+	// Any transition can change a thread's runner, which changes blame for
+	// every task stalled behind that thread: settle their clocks first.
+	p.flushThread(ev.At, newT)
+	if hadT && oldT != newT {
+		p.flushThread(ev.At, oldT)
+	}
+
+	if idx, ok := p.vcpuIndex(subj); ok {
+		p.flushVCPU(ev.At, idx)
+		vs := p.vcpu(idx)
+		vs.state = to
+		vs.known = true
+		vs.thread = newT
+		vs.haveThread = true
+	}
+
+	if hadT && p.threadRunner[oldT] == subj {
+		delete(p.threadRunner, oldT)
+	}
+	if to == host.Running {
+		p.threadRunner[newT] = subj
+	} else if p.threadRunner[newT] == subj {
+		delete(p.threadRunner, newT)
+	}
+	p.entThread[subj] = newT
+}
+
+func (p *Profiler) speedEvent(ev vtrace.Event) {
+	idx := int(ev.A0)
+	p.flushVCPU(ev.At, idx)
+	p.vcpu(idx).speedMicro = ev.A1
+}
+
+func (p *Profiler) wakeup(ev vtrace.Event) {
+	id := ev.A0
+	if ts := p.tasks[id]; ts != nil {
+		// A wakeup for a task we think is already awake means the stream
+		// lost the close of the previous span (ring wrap). Discard it as
+		// truncated and start clean.
+		p.flushTask(ts, ev.At)
+		p.truncated++
+		delete(p.tasks, id)
+	}
+	p.tasks[id] = &taskState{
+		id:    id,
+		vcpu:  int(ev.A1),
+		since: ev.At,
+		span: Span{
+			Task:    ev.Subject,
+			TaskID:  id,
+			Start:   ev.At,
+			WakerID: ev.A2,
+		},
+	}
+}
+
+func (p *Profiler) taskOn(ev vtrace.Event) {
+	id := ev.A1
+	ts := p.tasks[id]
+	if ts == nil {
+		// First sight mid-run: reconstruct from here but mark truncated.
+		ts = &taskState{
+			id:        id,
+			since:     ev.At,
+			span:      Span{Task: ev.Subject, TaskID: id, Start: ev.At, WakerID: -1},
+			truncated: true,
+		}
+		p.tasks[id] = ts
+	}
+	p.flushTask(ts, ev.At)
+	ts.running = true
+	ts.vcpu = int(ev.A0)
+}
+
+func (p *Profiler) taskOff(ev vtrace.Event) {
+	id := ev.A1
+	ts := p.tasks[id]
+	if ts == nil {
+		return // open predates the tap; nothing to close
+	}
+	p.flushTask(ts, ev.At)
+	ts.running = false
+	ts.vcpu = int(ev.A0)
+	if ev.A2 == 1 {
+		return // preempted or migrating: span continues queued
+	}
+	p.closeSpan(ts, ev.At)
+}
+
+func (p *Profiler) migrate(ev vtrace.Event) {
+	ts := p.tasks[ev.A0]
+	if ts == nil {
+		return
+	}
+	p.flushTask(ts, ev.At)
+	ts.vcpu = int(ev.A2)
+	ts.span.Migrations++
+}
+
+func (p *Profiler) migCost(ev vtrace.Event) {
+	ts := p.tasks[ev.A0]
+	if ts == nil || p.cfg.NominalSpeed <= 0 {
+		return
+	}
+	ts.migDebt += sim.Duration(float64(ev.A1) / p.cfg.NominalSpeed)
+}
+
+func (p *Profiler) closeSpan(ts *taskState, at sim.Time) {
+	delete(p.tasks, ts.id)
+	if ts.truncated {
+		p.truncated++
+		return
+	}
+	ts.span.End = at
+	ts.span.StealBy = sortedBlame(ts.stealBy)
+	p.spans = append(p.spans, ts.span)
+}
+
+func sortedBlame(m map[string]sim.Duration) []Blame {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Blame, 0, len(m))
+	for e, d := range m {
+		out = append(out, Blame{Entity: e, Wait: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wait != out[j].Wait {
+			return out[i].Wait > out[j].Wait
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// flushThread settles every open span whose vCPU sits on hardware thread t.
+func (p *Profiler) flushThread(at sim.Time, t int64) {
+	for _, ts := range p.tasks {
+		if vs := p.vcpus[ts.vcpu]; vs != nil && vs.haveThread && vs.thread == t {
+			p.flushTask(ts, at)
+		}
+	}
+}
+
+// flushVCPU settles every open span currently homed on vCPU idx.
+func (p *Profiler) flushVCPU(at sim.Time, idx int) {
+	for _, ts := range p.tasks {
+		if ts.vcpu == idx {
+			p.flushTask(ts, at)
+		}
+	}
+}
+
+// flushTask charges the interval since the task's last settlement to exactly
+// one cause (with exact-by-subtraction sub-splits) under the *current*
+// cached vCPU state, then restarts its clock. flushTask is idempotent at a
+// given timestamp: a second call charges zero.
+func (p *Profiler) flushTask(ts *taskState, at sim.Time) {
+	el := at.Sub(ts.since)
+	ts.since = at
+	if el <= 0 {
+		return
+	}
+	vs := p.vcpus[ts.vcpu]
+	state := host.Running // optimistic default before any entity event
+	var speedMicro, thread int64
+	haveThread := false
+	if vs != nil {
+		if vs.known {
+			state = vs.state
+		}
+		speedMicro = vs.speedMicro
+		thread = vs.thread
+		haveThread = vs.haveThread
+	}
+
+	if ts.running {
+		switch state {
+		case host.Running:
+			// Split run vs smt-slowdown against nominal speed; derive run
+			// by subtraction so the pair sums to el exactly. Then carve
+			// pending migration debt out of the run part.
+			var slow sim.Duration
+			if p.cfg.NominalSpeed > 0 && speedMicro > 0 {
+				ratio := float64(speedMicro) / (p.cfg.NominalSpeed * 1e6)
+				if ratio < 1 {
+					slow = sim.Duration(float64(el) * (1 - ratio))
+					if slow > el {
+						slow = el
+					}
+				}
+			}
+			run := el - slow
+			take := ts.migDebt
+			if take > run {
+				take = run
+			}
+			ts.migDebt -= take
+			ts.span.NS[Migration] += take
+			ts.span.NS[Run] += run - take
+			ts.span.NS[SMTSlowdown] += slow
+		case host.Runnable:
+			ts.span.NS[StealWait] += el
+			p.blame(ts, thread, haveThread, el)
+		case host.Throttled:
+			ts.span.NS[ThrottleWait] += el
+		case host.Blocked:
+			// Defensive: an installed task on a halted vCPU should not
+			// happen; count it as steal against the host.
+			ts.span.NS[StealWait] += el
+			p.blameName(ts, "(host)", el)
+		}
+		return
+	}
+	switch state {
+	case host.Runnable:
+		// Queued behind a descheduled vCPU: the host, not the guest
+		// scheduler, is withholding progress.
+		ts.span.NS[StealWait] += el
+		p.blame(ts, thread, haveThread, el)
+	case host.Throttled:
+		ts.span.NS[ThrottleWait] += el
+	default:
+		// Running (queued behind the current task) or Blocked (waiting
+		// for the idle vCPU's wake-kick to land): guest-side queueing.
+		ts.span.NS[RunnableWait] += el
+	}
+}
+
+func (p *Profiler) blame(ts *taskState, thread int64, haveThread bool, el sim.Duration) {
+	name := "(unknown)"
+	if haveThread {
+		if r, ok := p.threadRunner[thread]; ok {
+			name = r
+		}
+	}
+	p.blameName(ts, name, el)
+}
+
+func (p *Profiler) blameName(ts *taskState, name string, el sim.Duration) {
+	if ts.stealBy == nil {
+		ts.stealBy = map[string]sim.Duration{}
+	}
+	ts.stealBy[name] += el
+}
+
+// Finish settles every open span at time now and returns the profile.
+// Spans still open stay open (counted, excluded from aggregates); the
+// profiler remains usable and a later Finish extends the same spans.
+func (p *Profiler) Finish(now sim.Time) *Profile {
+	if now < p.lastAt {
+		now = p.lastAt
+	}
+	ids := make([]int64, 0, len(p.tasks))
+	for id := range p.tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p.flushTask(p.tasks[id], now)
+	}
+	spans := make([]Span, len(p.spans))
+	copy(spans, p.spans)
+	return &Profile{
+		VM:        p.cfg.VM,
+		Spans:     spans,
+		Open:      len(p.tasks),
+		Truncated: p.truncated,
+	}
+}
+
+// Analyze reconstructs a profile post-hoc from a buffered event slice (e.g.
+// tracer.Events()).
+func Analyze(events []vtrace.Event, cfg Config) *Profile {
+	p := New(cfg)
+	for _, ev := range events {
+		p.Observe(ev)
+	}
+	return p.Finish(p.lastAt)
+}
+
+// FromTracer analyzes a ring tracer's buffered events and records its drop
+// counter, so a profile whose input lost events says so.
+func FromTracer(tr *vtrace.Tracer, cfg Config) *Profile {
+	prof := Analyze(tr.Events(), cfg)
+	prof.DroppedEvents = tr.Dropped()
+	return prof
+}

@@ -1,0 +1,328 @@
+package latprof
+
+import (
+	"reflect"
+	"testing"
+
+	"vsched/internal/host"
+	"vsched/internal/sim"
+	"vsched/internal/vtrace"
+)
+
+// feed is a synthetic event-stream builder for exact-value unit tests.
+type feed struct {
+	p *Profiler
+}
+
+func newFeed(nominal float64) *feed {
+	return &feed{p: New(Config{VM: "vm", NominalSpeed: nominal})}
+}
+
+func (f *feed) ent(at sim.Time, name string, from, to host.EntityState, thread int64) {
+	f.p.Observe(vtrace.Event{At: at, Kind: vtrace.KindEntityState, Subject: name,
+		A0: int64(from), A1: int64(to), A2: thread})
+}
+
+func (f *feed) speed(at sim.Time, vcpu int, micro int64) {
+	f.p.Observe(vtrace.Event{At: at, Kind: vtrace.KindVCPUSpeed, Subject: "vm",
+		A0: int64(vcpu), A1: micro})
+}
+
+func (f *feed) wakeup(at sim.Time, task string, id, vcpu, waker int64) {
+	f.p.Observe(vtrace.Event{At: at, Kind: vtrace.KindTaskWakeup, Subject: task,
+		A0: id, A1: vcpu, A2: waker})
+}
+
+func (f *feed) on(at sim.Time, task string, id, vcpu int64) {
+	f.p.Observe(vtrace.Event{At: at, Kind: vtrace.KindTaskOn, Subject: task,
+		A0: vcpu, A1: id})
+}
+
+func (f *feed) off(at sim.Time, task string, id, vcpu, still int64) {
+	f.p.Observe(vtrace.Event{At: at, Kind: vtrace.KindTaskOff, Subject: task,
+		A0: vcpu, A1: id, A2: still})
+}
+
+func (f *feed) migrate(at sim.Time, task string, id, src, dst int64) {
+	f.p.Observe(vtrace.Event{At: at, Kind: vtrace.KindTaskMigrate, Subject: task,
+		A0: id, A1: src, A2: dst})
+}
+
+func (f *feed) migCost(at sim.Time, task string, id, cycles int64) {
+	f.p.Observe(vtrace.Event{At: at, Kind: vtrace.KindMigCost, Subject: task,
+		A0: id, A1: cycles})
+}
+
+const ms = sim.Millisecond
+
+func at(n int) sim.Time { return sim.Time(n) * sim.Time(ms) }
+
+func wantNS(t *testing.T, s *Span, c Cause, want sim.Duration) {
+	t.Helper()
+	if got := s.NS[c]; got != want {
+		t.Errorf("%s = %v, want %v", c, got, want)
+	}
+}
+
+// TestRunAndStealClassification: a task running while its vCPU is preempted
+// accrues steal-wait blamed on the entity holding the thread.
+func TestRunAndStealClassification(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 2e6)
+	f.wakeup(0, "a", 1, 0, -1)
+	f.on(0, "a", 1, 0)
+	// Host preempts the vCPU for a co-tenant for 5ms.
+	f.ent(at(10), "vm/vcpu0", host.Running, host.Runnable, 0)
+	f.ent(at(10), "tenant", host.Runnable, host.Running, 0)
+	f.ent(at(15), "tenant", host.Running, host.Blocked, 0)
+	f.ent(at(15), "vm/vcpu0", host.Runnable, host.Running, 0)
+	f.off(at(20), "a", 1, 0, 0)
+
+	prof := f.p.Finish(at(20))
+	if err := prof.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(prof.Spans))
+	}
+	s := &prof.Spans[0]
+	if s.Wall() != 20*ms {
+		t.Fatalf("wall = %v, want 20ms", s.Wall())
+	}
+	wantNS(t, s, Run, 15*ms)
+	wantNS(t, s, StealWait, 5*ms)
+	if len(s.StealBy) != 1 || s.StealBy[0].Entity != "tenant" || s.StealBy[0].Wait != 5*ms {
+		t.Fatalf("StealBy = %+v, want tenant 5ms", s.StealBy)
+	}
+}
+
+// TestRunnableWaitVsStealWait: a queued task waits on the guest scheduler
+// while its vCPU runs, and on the host while the vCPU is descheduled.
+func TestRunnableWaitVsStealWait(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 2e6)
+	f.wakeup(0, "a", 1, 0, -1)
+	f.on(0, "a", 1, 0)
+	f.wakeup(0, "b", 2, 0, -1) // queued behind a
+	f.ent(at(10), "vm/vcpu0", host.Running, host.Runnable, 0)
+	f.ent(at(10), "tenant", host.Runnable, host.Running, 0)
+	f.ent(at(15), "tenant", host.Running, host.Blocked, 0)
+	f.ent(at(15), "vm/vcpu0", host.Runnable, host.Running, 0)
+	f.off(at(20), "a", 1, 0, 0)
+	f.on(at(20), "b", 2, 0)
+	f.off(at(25), "b", 2, 0, 0)
+
+	prof := f.p.Finish(at(25))
+	if err := prof.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(prof.Spans))
+	}
+	b := &prof.Spans[1]
+	if b.Task != "b" {
+		t.Fatalf("second span = %s, want b", b.Task)
+	}
+	wantNS(t, b, RunnableWait, 15*ms) // 0-10 queued + 15-20 queued
+	wantNS(t, b, StealWait, 5*ms)     // 10-15 vCPU descheduled
+	wantNS(t, b, Run, 5*ms)           // 20-25
+}
+
+// TestSMTSlowdownSplit: run time at half the nominal speed splits evenly
+// into run and smt-slowdown, summing exactly.
+func TestSMTSlowdownSplit(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 2e6)
+	f.wakeup(0, "a", 1, 0, -1)
+	f.on(0, "a", 1, 0)
+	f.speed(at(10), 0, 1e6) // sibling woke: half speed
+	f.off(at(20), "a", 1, 0, 0)
+
+	prof := f.p.Finish(at(20))
+	if err := prof.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	s := &prof.Spans[0]
+	wantNS(t, s, Run, 15*ms)
+	wantNS(t, s, SMTSlowdown, 5*ms)
+}
+
+// TestTurboNeverNegative: speed above nominal must not produce a negative
+// smt-slowdown component.
+func TestTurboNeverNegative(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 23e5) // 1.15x turbo
+	f.wakeup(0, "a", 1, 0, -1)
+	f.on(0, "a", 1, 0)
+	f.off(at(10), "a", 1, 0, 0)
+
+	prof := f.p.Finish(at(10))
+	s := &prof.Spans[0]
+	wantNS(t, s, Run, 10*ms)
+	wantNS(t, s, SMTSlowdown, 0)
+}
+
+// TestThrottleWait: a Throttled vCPU accrues throttle-wait whether the task
+// is installed or queued.
+func TestThrottleWait(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 2e6)
+	f.wakeup(0, "a", 1, 0, -1)
+	f.on(0, "a", 1, 0)
+	f.ent(at(10), "vm/vcpu0", host.Running, host.Throttled, 0)
+	f.ent(at(30), "vm/vcpu0", host.Throttled, host.Runnable, 0)
+	f.ent(at(30), "vm/vcpu0", host.Runnable, host.Running, 0)
+	f.off(at(35), "a", 1, 0, 0)
+
+	prof := f.p.Finish(at(35))
+	if err := prof.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	s := &prof.Spans[0]
+	wantNS(t, s, Run, 15*ms)
+	wantNS(t, s, ThrottleWait, 20*ms)
+}
+
+// TestMigrationCarve: traced migration cost converts to nanoseconds at
+// nominal speed and is carved out of subsequent run time.
+func TestMigrationCarve(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.ent(0, "vm/vcpu1", host.Blocked, host.Running, 1)
+	f.speed(0, 0, 2e6)
+	f.speed(0, 1, 2e6)
+	f.wakeup(0, "a", 1, 0, -1)
+	f.on(0, "a", 1, 0)
+	f.off(at(10), "a", 1, 0, 1)          // pulled while runnable
+	f.migCost(at(10), "a", 1, 2_000_000) // 2e6 cycles @ 2.0 = 1ms
+	f.migrate(at(10), "a", 1, 0, 1)
+	f.on(at(10), "a", 1, 1)
+	f.off(at(20), "a", 1, 1, 0)
+
+	prof := f.p.Finish(at(20))
+	if err := prof.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	s := &prof.Spans[0]
+	wantNS(t, s, Migration, 1*ms)
+	wantNS(t, s, Run, 19*ms)
+	if s.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1", s.Migrations)
+	}
+}
+
+// TestPreemptionKeepsSpanOpen: TaskOff with the still-runnable flag must not
+// close the span; the final blocking TaskOff does.
+func TestPreemptionKeepsSpanOpen(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 2e6)
+	f.wakeup(0, "a", 1, 0, -1)
+	f.on(0, "a", 1, 0)
+	f.off(at(5), "a", 1, 0, 1) // guest preemption: still runnable
+	f.on(at(8), "a", 1, 0)
+	f.off(at(12), "a", 1, 0, 0)
+
+	prof := f.p.Finish(at(12))
+	if len(prof.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1 (preemption split the span)", len(prof.Spans))
+	}
+	s := &prof.Spans[0]
+	if s.Wall() != 12*ms {
+		t.Fatalf("wall = %v, want 12ms", s.Wall())
+	}
+	wantNS(t, s, Run, 9*ms)
+	wantNS(t, s, RunnableWait, 3*ms)
+}
+
+// TestTruncatedSpansExcluded: a task first seen mid-run is reconstructed but
+// not aggregated; a task never closed stays open.
+func TestTruncatedSpansExcluded(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.on(at(5), "mystery", 9, 0) // no wakeup seen
+	f.off(at(10), "mystery", 9, 0, 0)
+	f.wakeup(at(10), "open", 10, 0, -1)
+	f.on(at(10), "open", 10, 0)
+
+	prof := f.p.Finish(at(20))
+	if len(prof.Spans) != 0 {
+		t.Fatalf("spans = %d, want 0", len(prof.Spans))
+	}
+	if prof.Truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", prof.Truncated)
+	}
+	if prof.Open != 1 {
+		t.Fatalf("open = %d, want 1", prof.Open)
+	}
+}
+
+// TestCriticalPathChain: the critical path walks the waker chain backwards
+// from the last-ending span.
+func TestCriticalPathChain(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 2e6)
+	// p runs, wakes c (waker id 1), c runs, wakes d (waker id 2).
+	f.wakeup(0, "p", 1, 0, -1)
+	f.on(0, "p", 1, 0)
+	f.wakeup(at(5), "c", 2, 0, 1)
+	f.off(at(5), "p", 1, 0, 0)
+	f.on(at(5), "c", 2, 0)
+	f.wakeup(at(9), "d", 3, 0, 2)
+	f.off(at(9), "c", 2, 0, 0)
+	f.on(at(9), "d", 3, 0)
+	f.off(at(14), "d", 3, 0, 0)
+
+	prof := f.p.Finish(at(14))
+	chain, agg := prof.CriticalPath()
+	if len(chain) != 3 {
+		t.Fatalf("chain length = %d, want 3", len(chain))
+	}
+	order := []string{chain[0].Task, chain[1].Task, chain[2].Task}
+	if !reflect.DeepEqual(order, []string{"p", "c", "d"}) {
+		t.Fatalf("chain order = %v, want [p c d]", order)
+	}
+	if agg.Get(Run) != 14*ms {
+		t.Fatalf("chain run = %v, want 14ms", agg.Get(Run))
+	}
+}
+
+// TestPerTaskAndFlatten: aggregation orders are by name and the flat map
+// carries every cause.
+func TestPerTaskAndFlatten(t *testing.T) {
+	f := newFeed(2.0)
+	f.ent(0, "vm/vcpu0", host.Blocked, host.Running, 0)
+	f.speed(0, 0, 2e6)
+	f.wakeup(0, "z", 1, 0, -1)
+	f.on(0, "z", 1, 0)
+	f.off(at(3), "z", 1, 0, 0)
+	f.wakeup(at(3), "a", 2, 0, -1)
+	f.on(at(3), "a", 2, 0)
+	f.off(at(7), "a", 2, 0, 0)
+
+	prof := f.p.Finish(at(7))
+	per := prof.PerTask()
+	if len(per) != 2 || per[0].Task != "a" || per[1].Task != "z" {
+		t.Fatalf("PerTask order wrong: %+v", per)
+	}
+	flat := prof.Flatten()
+	for _, c := range Causes() {
+		for _, suffix := range []string{"_ns", "_share", "_p95_ns"} {
+			if _, ok := flat[c.Key()+suffix]; !ok {
+				t.Fatalf("Flatten missing %s%s", c.Key(), suffix)
+			}
+		}
+	}
+	if flat["spans"] != 2 {
+		t.Fatalf("spans = %v, want 2", flat["spans"])
+	}
+	if flat["run_ns"] != float64(7*ms) {
+		t.Fatalf("run_ns = %v, want %v", flat["run_ns"], float64(7*ms))
+	}
+}

@@ -33,6 +33,62 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the degenerate distributions the
+// attribution pipeline feeds in routinely: empty profiles, single-span
+// tasks, and all-equal components.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty: every accessor must return 0, not panic or garbage.
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v)=%d", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read as all zeros")
+	}
+
+	// Single sample below the linear-bucket limit: every quantile is exact.
+	h = NewHistogram()
+	h.Observe(17)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 17 {
+			t.Fatalf("single-sample Quantile(%v)=%d want 17", q, got)
+		}
+	}
+
+	// Single large sample: quantiles agree with each other, stay within the
+	// documented relative error, and q>=1 is exact.
+	h = NewHistogram()
+	h.Observe(1_000_003)
+	if h.Quantile(1) != 1_000_003 {
+		t.Fatalf("Quantile(1)=%d want exact max", h.Quantile(1))
+	}
+	p50, p99 := h.P50(), h.P99()
+	if p50 != p99 {
+		t.Fatalf("single sample: p50=%d p99=%d must match", p50, p99)
+	}
+	if p50 > 1_000_003 || float64(1_000_003-p50) > 0.032*1_000_003 {
+		t.Fatalf("p50=%d outside the 3.2%% bucket error of 1000003", p50)
+	}
+
+	// All-equal samples: the distribution is a point mass, so every quantile
+	// lands in the same bucket and min==max==mean.
+	h = NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(5000)
+	}
+	if h.P50() != h.P95() || h.P95() != h.P99() {
+		t.Fatalf("all-equal quantiles differ: p50=%d p95=%d p99=%d", h.P50(), h.P95(), h.P99())
+	}
+	if h.Min() != 5000 || h.Max() != 5000 || h.Mean() != 5000 {
+		t.Fatalf("all-equal min/max/mean: %d/%d/%v", h.Min(), h.Max(), h.Mean())
+	}
+	if got := h.Quantile(1); got != 5000 {
+		t.Fatalf("all-equal Quantile(1)=%d", got)
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(-5)

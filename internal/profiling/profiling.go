@@ -1,0 +1,54 @@
+// Package profiling wires the standard runtime/pprof profilers into
+// command-line entry points. Commands expose -cpuprofile/-memprofile flags
+// and call Start once after flag parsing; the returned stop function flushes
+// everything before exit. Kept out of the simulation packages on purpose:
+// profiling is host-process observability, never part of a scenario.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start enables the requested profiles. An empty path disables that profile,
+// so Start("", "") is a no-op that still returns a callable stop. The stop
+// function ends CPU profiling and writes the heap profile (after a GC, so
+// live-object accounting is current); call it exactly once, before exit.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				keep(err)
+			} else {
+				runtime.GC()
+				keep(pprof.WriteHeapProfile(f))
+				keep(f.Close())
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -38,9 +38,39 @@ const (
 	pidGuest  = 2
 	pidVSched = 3
 	pidFleet  = 4
+	// pidExtra is the first pid handed to caller-supplied SpanTracks.
+	pidExtra = 5
 	// Synthetic guest tids for VM-wide instants.
 	tidBalance = 1000
 )
+
+// SpanTrack is a caller-supplied trace process appended to a Chrome export:
+// a dedicated set of tracks whose slices were derived from the event stream
+// rather than recorded in it (e.g. latency-attribution spans). Args are an
+// ordered slice, not a map, so exports stay byte-deterministic.
+type SpanTrack struct {
+	Process string
+	Threads []SpanThread
+}
+
+// SpanThread is one named track inside a SpanTrack.
+type SpanThread struct {
+	Name   string
+	Slices []SpanSlice
+}
+
+// SpanSlice is one complete ("X") slice on a SpanThread.
+type SpanSlice struct {
+	Name     string
+	From, To sim.Time
+	Args     []SpanArg
+}
+
+// SpanArg is one key/value argument attached to a SpanSlice.
+type SpanArg struct {
+	Key   string
+	Value int64
+}
 
 // exporter accumulates interval state while streaming JSON lines.
 type exporter struct {
@@ -68,8 +98,12 @@ type openSlice struct {
 }
 
 // WriteChrome exports the buffered events as Chrome Trace Event Format
-// JSON. Safe on a nil tracer (writes an empty trace).
-func (tr *Tracer) WriteChrome(w io.Writer) error {
+// JSON. Safe on a nil tracer (writes an empty trace). Extra SpanTracks —
+// derived data such as attribution spans — are appended as additional trace
+// processes after the event-derived ones, and the trailer records the
+// tracer's emitted/dropped totals so a consumer can tell whether ring
+// wrap-around lost events.
+func (tr *Tracer) WriteChrome(w io.Writer, extra ...SpanTrack) error {
 	e := &exporter{
 		w:         bufio.NewWriter(w),
 		tr:        tr,
@@ -79,10 +113,10 @@ func (tr *Tracer) WriteChrome(w io.Writer) error {
 		guestTIDs: map[int]bool{},
 		openTask:  map[int]openSlice{},
 	}
-	return e.run()
+	return e.run(extra)
 }
 
-func (e *exporter) run() error {
+func (e *exporter) run(extra []SpanTrack) error {
 	io.WriteString(e.w, "{\"traceEvents\":[\n")
 	e.meta(pidHost, -1, "process_name", "host")
 	e.meta(pidGuest, -1, "process_name", "guest")
@@ -98,11 +132,39 @@ func (e *exporter) run() error {
 		}
 	}
 	e.flushOpen()
-	io.WriteString(e.w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	for i := range extra {
+		e.spanTrack(pidExtra+i, &extra[i])
+		if e.err != nil {
+			return e.err
+		}
+	}
+	fmt.Fprintf(e.w, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"emittedEvents\":%d,\"droppedEvents\":%d}}\n",
+		e.tr.Total(), e.tr.Dropped())
 	if e.err != nil {
 		return e.err
 	}
 	return e.w.Flush()
+}
+
+// spanTrack emits one caller-supplied process: its metadata, then every
+// slice in caller order (deterministic by construction).
+func (e *exporter) spanTrack(pid int, t *SpanTrack) {
+	e.meta(pid, -1, "process_name", t.Process)
+	for tid := range t.Threads {
+		th := &t.Threads[tid]
+		e.meta(pid, tid, "thread_name", th.Name)
+		for i := range th.Slices {
+			s := &th.Slices[i]
+			var args strings.Builder
+			for j, a := range s.Args {
+				if j > 0 {
+					args.WriteByte(',')
+				}
+				fmt.Fprintf(&args, "%q:%d", a.Key, a.Value)
+			}
+			e.sliceArgs(pid, tid, s.From, s.To, s.Name, t.Process, args.String())
+		}
+	}
 }
 
 // ts renders virtual nanoseconds as trace microseconds.
@@ -144,6 +206,18 @@ func (e *exporter) slice(pid, tid int, from, to sim.Time, name, cat string) {
 	}
 	e.raw(fmt.Sprintf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%q,\"cat\":%q}",
 		pid, tid, ts(from), ts(sim.Time(to.Sub(from))), name, cat))
+}
+
+func (e *exporter) sliceArgs(pid, tid int, from, to sim.Time, name, cat, args string) {
+	if args == "" {
+		e.slice(pid, tid, from, to, name, cat)
+		return
+	}
+	if to < from {
+		to = from
+	}
+	e.raw(fmt.Sprintf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%q,\"cat\":%q,\"args\":{%s}}",
+		pid, tid, ts(from), ts(sim.Time(to.Sub(from))), name, cat, args))
 }
 
 func (e *exporter) counter(at sim.Time, name string, value int64) {
@@ -242,6 +316,11 @@ func (e *exporter) event(ev *Event) {
 			name = "sched-normal:" + ev.Subject
 		}
 		e.instant(pidGuest, tidBalance, ev.At, name, "guest", "")
+	case KindVCPUSpeed:
+		e.counter(ev.At, fmt.Sprintf("speed_milli/v%d", ev.A0), ev.A1/1000)
+	case KindMigCost:
+		e.instant(pidGuest, tidBalance, ev.At, "mig-cost:"+ev.Subject, "guest",
+			fmt.Sprintf("\"cycles\":%d", ev.A1))
 
 	case KindCapSample:
 		e.counter(ev.At, fmt.Sprintf("capacity/v%d", ev.A0), ev.A1)

@@ -32,7 +32,8 @@ type Kind uint8
 
 const (
 	// KindEntityState: host entity changed scheduling state.
-	// A0=from, A1=to (host.EntityState).
+	// A0=from, A1=to (host.EntityState), A2=hardware thread id the entity is
+	// homed on at the transition.
 	KindEntityState Kind = iota
 	// KindPreempt: involuntary Running->Runnable/Throttled descheduling.
 	// A0=to state.
@@ -43,10 +44,14 @@ const (
 	// KindSteal: an entity left a steal state (Runnable/Throttled) after A0
 	// nanoseconds wanting the CPU without running.
 	KindSteal
-	// KindTaskWakeup: guest task became runnable. A0=task id, A1=target vCPU.
+	// KindTaskWakeup: guest task became runnable. A0=task id, A1=target
+	// vCPU, A2=id of the task that issued the wakeup (-1 when external:
+	// spawn, timer, remote completion).
 	KindTaskWakeup
 	// KindTaskOn / KindTaskOff: task installed on / removed from vCPU A0
-	// (guest context switch halves). A1=task id.
+	// (guest context switch halves). A1=task id. For TaskOff, A2=1 when the
+	// task is still runnable (preempted/yield/migrating), 0 when it left the
+	// CPU because it blocked or exited.
 	KindTaskOn
 	KindTaskOff
 	// KindTaskMigrate: task moved between vCPUs. A0=task id, A1=src, A2=dst.
@@ -84,6 +89,14 @@ const (
 	KindVMMigrate
 	// KindVMExit: fleet VM departed. A0=host, A1=vCPUs released.
 	KindVMExit
+	// KindVCPUSpeed: a vCPU's effective execution speed changed while
+	// running (resume, SMT sibling activity, turbo). Subject=VM name,
+	// A0=vCPU id, A1=speed in millionths of a cycle per nanosecond.
+	KindVCPUSpeed
+	// KindMigCost: a cross-vCPU task migration was charged a working-set
+	// transfer cost, paid the next time the task runs. A0=task id,
+	// A1=cost in cycles.
+	KindMigCost
 
 	// numKinds bounds per-kind arrays (Summary); keep it one past the last.
 	numKinds
@@ -131,6 +144,10 @@ func (k Kind) String() string {
 		return "vm-migrate"
 	case KindVMExit:
 		return "vm-exit"
+	case KindVCPUSpeed:
+		return "vcpu-speed"
+	case KindMigCost:
+		return "mig-cost"
 	}
 	return "invalid"
 }
@@ -141,7 +158,8 @@ func (k Kind) Category() string {
 	switch k {
 	case KindEntityState, KindPreempt, KindThrottle, KindUnthrottle, KindSteal:
 		return "host"
-	case KindTaskWakeup, KindTaskOn, KindTaskOff, KindTaskMigrate, KindBalance, KindIdlePolicy:
+	case KindTaskWakeup, KindTaskOn, KindTaskOff, KindTaskMigrate, KindBalance, KindIdlePolicy,
+		KindVCPUSpeed, KindMigCost:
 		return "guest"
 	case KindVMArrive, KindVMPlace, KindVMMigrate, KindVMExit:
 		return "fleet"
@@ -160,13 +178,14 @@ type Event struct {
 	A0, A1, A2 int64
 }
 
-// Tracer records events into a fixed-capacity ring buffer. The zero of
-// everything is useful: a nil *Tracer is a disabled tracer whose emit
-// methods are no-ops.
+// Tracer records events into a fixed-capacity ring buffer and/or streams
+// them to an observer. The zero of everything is useful: a nil *Tracer is a
+// disabled tracer whose emit methods are no-ops.
 type Tracer struct {
 	buf   []Event
 	next  int    // ring write index
 	total uint64 // events emitted over the tracer's lifetime
+	obs   func(Event)
 }
 
 // DefaultCapacity is a buffer big enough for several virtual seconds of a
@@ -182,6 +201,26 @@ func New(capacity int) *Tracer {
 	return &Tracer{buf: make([]Event, 0, capacity)}
 }
 
+// NewObserver returns a ring-less tracer that streams every emitted event to
+// fn instead of buffering it. This is the live event-access path: a
+// latency-attribution profiler (or any other consumer) sees each event the
+// moment it is emitted, with no capacity limit and nothing ever dropped.
+// Events() returns nil and Dropped() returns 0 for such a tracer.
+func NewObserver(fn func(Event)) *Tracer {
+	return &Tracer{obs: fn}
+}
+
+// SetObserver attaches fn as a streaming tap: every subsequent Emit calls fn
+// with the event after (possibly) recording it in the ring. Pass nil to
+// detach. The callback runs synchronously on the emit path, so it must be
+// cheap and must not re-enter the emitting layer.
+func (tr *Tracer) SetObserver(fn func(Event)) {
+	if tr == nil {
+		return
+	}
+	tr.obs = fn
+}
+
 // Emit records one event. Safe (and free) on a nil tracer: the nil check is
 // the entire disabled fast path, and an enabled emit writes one fixed-size
 // slot with no allocation.
@@ -190,16 +229,21 @@ func (tr *Tracer) Emit(at sim.Time, k Kind, subject string, a0, a1, a2 int64) {
 		return
 	}
 	ev := Event{At: at, Kind: k, Subject: subject, A0: a0, A1: a1, A2: a2}
-	if len(tr.buf) < cap(tr.buf) {
-		tr.buf = append(tr.buf, ev)
-	} else {
-		tr.buf[tr.next] = ev
-		tr.next++
-		if tr.next == len(tr.buf) {
-			tr.next = 0
+	if cap(tr.buf) > 0 {
+		if len(tr.buf) < cap(tr.buf) {
+			tr.buf = append(tr.buf, ev)
+		} else {
+			tr.buf[tr.next] = ev
+			tr.next++
+			if tr.next == len(tr.buf) {
+				tr.next = 0
+			}
 		}
 	}
 	tr.total++
+	if tr.obs != nil {
+		tr.obs(ev)
+	}
 }
 
 // Enabled reports whether the tracer records events.
@@ -214,9 +258,10 @@ func (tr *Tracer) Total() uint64 {
 	return tr.total
 }
 
-// Dropped returns how many events the ring overwrote.
+// Dropped returns how many events the ring overwrote. An observer-only
+// tracer (NewObserver) streams every event and never drops any.
 func (tr *Tracer) Dropped() uint64 {
-	if tr == nil {
+	if tr == nil || cap(tr.buf) == 0 {
 		return 0
 	}
 	return tr.total - uint64(len(tr.buf))
@@ -236,8 +281,8 @@ func (tr *Tracer) Events() []Event {
 
 // AttachHost taps every entity of h — including entities created after the
 // call — emitting state-transition, preemption, throttle and steal-interval
-// events. It uses the host-wide observer hook, so at most one tracer can be
-// attached per host.
+// events. It appends to the host-wide observer hook, so several tracers may
+// tap one host.
 func AttachHost(tr *Tracer, h *host.Host) {
 	if tr == nil {
 		return
@@ -247,9 +292,9 @@ func AttachHost(tr *Tracer, h *host.Host) {
 	// reads/writes of existing keys do not allocate, so the steady-state
 	// observer path stays allocation-free.
 	stealSince := make(map[*host.Entity]sim.Time)
-	h.SetObserver(func(e *host.Entity, now sim.Time, from, to host.EntityState) {
+	h.AddObserver(func(e *host.Entity, now sim.Time, from, to host.EntityState) {
 		name := e.Name()
-		tr.Emit(now, KindEntityState, name, int64(from), int64(to), 0)
+		tr.Emit(now, KindEntityState, name, int64(from), int64(to), int64(e.Thread().ID()))
 		if from == host.Running && (to == host.Runnable || to == host.Throttled) {
 			tr.Emit(now, KindPreempt, name, int64(to), 0, 0)
 		}

@@ -184,6 +184,141 @@ func TestRingOverwritesOldest(t *testing.T) {
 	}
 }
 
+// TestWrapAroundExportMetadata is the drop-accounting regression test: after
+// ring wrap-around, the summary and the Chrome trailer must both report how
+// many events were emitted versus lost, so a consumer can tell a complete
+// trace from a truncated one.
+func TestWrapAroundExportMetadata(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 100; i++ {
+		tr.Emit(sim.Time(i*1000), KindBalance, "vm", int64(i), 0, 0)
+	}
+	if tr.Total() != 100 || tr.Dropped() != 92 {
+		t.Fatalf("total=%d dropped=%d want 100/92", tr.Total(), tr.Dropped())
+	}
+	s := tr.Summary()
+	if !strings.Contains(s, "100 emitted") || !strings.Contains(s, "92 dropped") {
+		t.Fatalf("summary missing drop accounting:\n%s", s)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData struct {
+			Emitted int `json:"emittedEvents"`
+			Dropped int `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.OtherData.Emitted != 100 || doc.OtherData.Dropped != 92 {
+		t.Fatalf("otherData emitted=%d dropped=%d want 100/92",
+			doc.OtherData.Emitted, doc.OtherData.Dropped)
+	}
+	// An unbounded ring drops nothing and says so.
+	tr2 := New(0)
+	tr2.Emit(0, KindBalance, "vm", 0, 0, 0)
+	buf.Reset()
+	if err := tr2.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"droppedEvents":0`)) {
+		t.Fatal("unbounded ring must export droppedEvents:0")
+	}
+}
+
+// TestExportFormatting pins the low-level renderers: the ts microsecond
+// format, counter events, and JSON escaping of hostile subject names.
+func TestExportFormatting(t *testing.T) {
+	for _, tc := range []struct {
+		at   sim.Time
+		want string
+	}{
+		{0, "0.000"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1_234_567, "1234.567"},
+		{sim.Time(3 * sim.Second), "3000000.000"},
+	} {
+		if got := ts(tc.at); got != tc.want {
+			t.Fatalf("ts(%d)=%q want %q", tc.at, got, tc.want)
+		}
+	}
+
+	// Counter formatting: vCPU speed exports as a milli-scaled C event.
+	tr := New(0)
+	tr.Emit(1500, KindVCPUSpeed, "vm", 2, 1_234_567, 0)
+	tr.Emit(2500, KindCapSample, "vm", 1, 900, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"ph":"C"`,
+		`"name":"speed_milli/v2","args":{"value":1234}`,
+		`"ts":1.500`,
+		`"name":"capacity/v1","args":{"value":900}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("counter export missing %s:\n%s", want, out)
+		}
+	}
+
+	// Escaping: subjects with quotes, backslashes and control bytes must
+	// export as valid JSON with the name preserved.
+	hostile := "task\"q\\b\nnl\tt"
+	tr = New(0)
+	tr.Emit(10, KindTaskWakeup, hostile, 0, 0, -1)
+	buf.Reset()
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("hostile subject broke the JSON: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if name, _ := ev["name"].(string); name == "wakeup:"+hostile {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped wakeup event lost its name:\n%s", buf.String())
+	}
+
+	// SpanTrack args render in caller order with escaped keys.
+	track := SpanTrack{Process: "attribution", Threads: []SpanThread{{
+		Name: "t\"x",
+		Slices: []SpanSlice{{
+			Name: "s", From: 100, To: 1100,
+			Args: []SpanArg{{Key: "run_ns", Value: 7}, {Key: "wall_ns", Value: 1000}},
+		}},
+	}}}
+	tr = New(0)
+	buf.Reset()
+	if err := tr.WriteChrome(&buf, track); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &struct{}{}); err != nil {
+		t.Fatalf("span track broke the JSON: %v", err)
+	}
+	for _, want := range []string{
+		`"args":{"run_ns":7,"wall_ns":1000}`,
+		`"ts":0.100,"dur":1.000`,
+		`"name":"attribution"`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("span track export missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestNilTracerIsInert(t *testing.T) {
 	var tr *Tracer
 	tr.Emit(0, KindBalance, "x", 0, 0, 0) // must not panic

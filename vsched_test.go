@@ -57,10 +57,10 @@ func TestWorkloadNamesAndExperimentIDs(t *testing.T) {
 		t.Fatalf("catalogue too small: %d", len(vsched.WorkloadNames()))
 	}
 	ids := vsched.ExperimentIDs()
-	if len(ids) != 21 {
-		t.Fatalf("want 21 experiments (fig2..21 + tables + probeacc + fleet), got %d: %v", len(ids), ids)
+	if len(ids) != 22 {
+		t.Fatalf("want 22 experiments (fig2..21 + tables + probeacc + fleet + attrib), got %d: %v", len(ids), ids)
 	}
-	for _, want := range []string{"fig2", "fig10b", "table2", "fig18", "fig21", "probeacc", "fleet"} {
+	for _, want := range []string{"fig2", "fig10b", "table2", "fig18", "fig21", "probeacc", "fleet", "attrib"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
