@@ -34,6 +34,13 @@ go test $short ./...
 echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/..."
 go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/...
 
+# Engine differential suite under the race detector, explicitly and never
+# -short: the timing-wheel engine must match the retained heap engine
+# (internal/sim/heapengine) event for event on randomized scripts. This is
+# the gate that lets the engine be optimized without re-recording goldens.
+echo "== engine differential suite (-race)"
+go test -race -run 'Differential|WheelCorners|AllocBudget' ./internal/sim/
+
 # Attribution smoke: the attrib experiment must produce byte-identical
 # reports across two runs of the same seed — the profiler is a deterministic
 # fold over the trace stream, and this catches any hidden-state leak the
@@ -58,5 +65,14 @@ done
 # benchmarks print the per-event cost so regressions are visible in CI logs.
 echo "== tracer overhead smoke"
 go test -run '^$' -bench 'BenchmarkEmit' -benchtime 1000x ./internal/vtrace/
+
+# Simulator-core benchmark smoke: the -bench core pipeline must run end to
+# end and emit a schema-valid artifact (the run re-reads what it wrote and
+# fails on schema mismatch). Throwaway output; the recorded baseline is
+# BENCH_core.json at the repo root.
+echo "== simbench pipeline smoke"
+go build -o /tmp/vexp_ci ./cmd/experiments
+/tmp/vexp_ci -bench core -smoke -out /tmp/vexp_bench_smoke.json > /dev/null
+rm -f /tmp/vexp_ci /tmp/vexp_bench_smoke.json
 
 echo "CI OK"

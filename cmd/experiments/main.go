@@ -11,6 +11,8 @@
 //	experiments -run all -reps 5            # 5 replicate seeds, mean±stddev cells
 //	experiments -run all -timeout 10m       # per-trial wall-clock budget
 //	experiments -run all -out run.jsonl     # JSON-lines artifact with metadata
+//	experiments -bench core -reps 5         # engine benchmark -> BENCH_core.json
+//	experiments -bench core -smoke          # CI pipeline check, seconds not minutes
 //
 // Reports go to stdout; timing and progress go to stderr, so stdout is a
 // pure function of (-run, -seed, -reps, -scale): a -parallel N run is
@@ -29,6 +31,7 @@ import (
 	"vsched/internal/experiments"
 	"vsched/internal/harness"
 	"vsched/internal/profiling"
+	"vsched/internal/simbench"
 )
 
 func main() {
@@ -53,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		bench    = fs.String("bench", "", "run an engine benchmark family ('core') instead of experiments")
+		smoke    = fs.Bool("smoke", false, "with -bench: shrink scenarios to a CI-sized pipeline check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "profiling:", err)
 		}
 	}()
+
+	if *bench != "" {
+		return runBench(*bench, *out, *seed, *reps, *smoke, stdout, stderr)
+	}
 
 	if *list || *runIDs == "" {
 		fmt.Fprintln(stdout, "available experiments:")
@@ -143,5 +152,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if res.Failed() > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runBench executes a simulator-core benchmark family and writes the
+// schema-versioned artifact (default BENCH_core.json). The artifact is read
+// back after writing, so a run that exits 0 has produced a valid file.
+func runBench(family, outPath string, seed int64, reps int, smoke bool, stdout, stderr io.Writer) int {
+	if family != "core" {
+		fmt.Fprintf(stderr, "unknown benchmark family %q (only 'core')\n", family)
+		return 1
+	}
+	if outPath == "" {
+		outPath = "BENCH_core.json"
+	}
+	start := time.Now()
+	res, err := simbench.RunCore(simbench.CoreConfig{BaseSeed: seed, Reps: reps, Smoke: smoke}, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := simbench.Write(f, res); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Schema check: the artifact on disk must round-trip.
+	rf, err := os.Open(outPath)
+	if err == nil {
+		_, err = simbench.Read(rf)
+		rf.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "artifact failed schema check: %v\n", err)
+		return 1
+	}
+	if s, ok := res.Speedup("hold/pending=100000"); ok {
+		fmt.Fprintf(stdout, "wheel/heap speedup at 1e5 pending: %.2fx\n", s)
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d scenarios, %d reps)\n", outPath, len(res.Scenarios), res.Reps)
+	fmt.Fprintf(stderr, "(benchmark wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	return 0
 }

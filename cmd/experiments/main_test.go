@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"vsched/internal/experiments"
+	"vsched/internal/simbench"
 )
 
 // TestListPrintsEveryExperiment pins the catalog contract: -list names
@@ -99,5 +100,41 @@ func TestProfilingFlags(t *testing.T) {
 	bad := append([]string{"-cpuprofile", filepath.Join(dir, "no", "dir", "x")}, base...)
 	if code := run(bad, &out, &errb); code != 1 {
 		t.Fatalf("unwritable -cpuprofile exited %d, want 1", code)
+	}
+}
+
+// TestBenchSmoke runs the -bench core pipeline at smoke scale and checks
+// that the artifact lands on disk and passes the schema gate.
+func TestBenchSmoke(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "bench.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", "core", "-smoke", "-out", art}, &out, &errb); code != 0 {
+		t.Fatalf("-bench core -smoke exited %d: %s", code, errb.String())
+	}
+	f, err := os.Open(art)
+	if err != nil {
+		t.Fatalf("artifact missing: %v", err)
+	}
+	defer f.Close()
+	res, err := simbench.Read(f)
+	if err != nil {
+		t.Fatalf("artifact failed schema check: %v", err)
+	}
+	if !res.Smoke || len(res.Scenarios) != 4 {
+		t.Fatalf("unexpected smoke artifact: smoke=%v scenarios=%d", res.Smoke, len(res.Scenarios))
+	}
+	if !strings.Contains(out.String(), "wrote "+art) {
+		t.Fatalf("missing confirmation line: %q", out.String())
+	}
+}
+
+func TestBenchUnknownFamilyFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", "nonsense"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown bench family exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown benchmark family") {
+		t.Fatalf("missing diagnostic: %s", errb.String())
 	}
 }

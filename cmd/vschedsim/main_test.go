@@ -48,6 +48,47 @@ func TestMetricsGolden(t *testing.T) {
 	}
 }
 
+// traceGoldenArgs is a shorter fixed-seed scenario for the engine-swap trace
+// golden: long enough to exercise throttling, probing, and bvs decisions,
+// short enough to keep the recorded trace under 100KB.
+var traceGoldenArgs = []string{
+	"-workload", "nginx", "-vcpus", "2", "-share", "0.5", "-vsched",
+	"-duration", "500ms", "-warmup", "200ms", "-seed", "7",
+}
+
+// TestTraceGolden pins the full Perfetto export of a fixed scenario to a
+// golden recorded with the original container/heap event queue. The trace is
+// a transcript of every simulation event in fire order, so this is the
+// strictest engine-swap gate: a timing-wheel engine that reorders even two
+// same-timestamp events diverges here. Do not re-record in an engine PR;
+// regenerate (with -update) only when simulation semantics change on
+// purpose.
+func TestTraceGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	args := append([]string{"-trace", path}, traceGoldenArgs...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace export diverged from %s (%d vs %d bytes) — the event engine is firing in a different order", golden, len(got), len(want))
+	}
+}
+
 // TestTraceFileDeterministic runs the same traced scenario twice and requires
 // byte-identical Chrome JSON — the CLI-level version of the exporter's
 // determinism contract.

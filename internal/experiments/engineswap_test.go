@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateEngineSwap = flag.Bool("update-engineswap", false, "re-record engine-swap golden reports (forbidden in an engine-swap PR)")
+
+// engineSwapIDs are the experiments whose report text is pinned byte-for-byte
+// across event-engine changes: probeacc exercises the prober accuracy path,
+// fleet the multi-host clock, and attrib the vtrace->latprof fold. Together
+// they touch every layer that consumes engine fire order.
+var engineSwapIDs = []string{"probeacc", "fleet", "attrib"}
+
+// TestEngineSwapByteIdentity pins the report output of the gate experiments
+// at a fixed (seed, scale) to golden files recorded with the original
+// container/heap event queue. Any event-engine change — the timing wheel
+// swap, pooling, cascade rework — must reproduce the heap engine's fire
+// order exactly, so these bytes must never change. Re-recording the goldens
+// instead of fixing the engine defeats the gate; do that only for PRs that
+// deliberately change simulation semantics.
+func TestEngineSwapByteIdentity(t *testing.T) {
+	for _, id := range engineSwapIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			got := r.Run(Options{Seed: 42, Scale: 0.1}).String()
+			if got == "" {
+				t.Fatal("empty report")
+			}
+			golden := filepath.Join("testdata", "engineswap", id+".golden")
+			if *updateEngineSwap {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (record with -update-engineswap BEFORE an engine change): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s report diverged from the heap-engine golden %s — the event engine is firing in a different order\n--- got ---\n%s\n--- want ---\n%s",
+					id, golden, got, want)
+			}
+		})
+	}
+}

@@ -615,10 +615,8 @@ func (vm *VM) advance(t *Task) {
 			// sched_setaffinity-style self migration: requeue on dst.
 			v.syncExec()
 			v.uninstallCurr()
-			if v.compEv != nil {
-				v.compEv.Cancel()
-				v.compEv = nil
-			}
+			v.compEv.Cancel()
+			v.compEv = sim.Event{}
 			t.remaining = 0
 			t.vruntime = t.vruntime - v.minVruntime + dst.minVruntime
 			vm.ctr.migrations.Inc()
@@ -630,10 +628,8 @@ func (vm *VM) advance(t *Task) {
 		case SegYield:
 			v.syncExec()
 			v.uninstallCurr()
-			if v.compEv != nil {
-				v.compEv.Cancel()
-				v.compEv = nil
-			}
+			v.compEv.Cancel()
+			v.compEv = sim.Event{}
 			t.remaining = 0
 			t.state = TaskRunnable
 			t.enqueuedAt = now
@@ -646,10 +642,8 @@ func (vm *VM) advance(t *Task) {
 			t.exited = true
 			v.syncExec()
 			v.uninstallCurr()
-			if v.compEv != nil {
-				v.compEv.Cancel()
-				v.compEv = nil
-			}
+			v.compEv.Cancel()
+			v.compEv = sim.Event{}
 			if t.OnExit != nil {
 				t.OnExit(now)
 			}
@@ -704,10 +698,8 @@ func (vm *VM) blockCurr(t *Task) {
 	v.syncExec()
 	t.state = TaskSleeping
 	v.uninstallCurr()
-	if v.compEv != nil {
-		v.compEv.Cancel()
-		v.compEv = nil
-	}
+	v.compEv.Cancel()
+	v.compEv = sim.Event{}
 	v.dispatch()
 }
 
@@ -741,10 +733,8 @@ func (vm *VM) PullRunning(src, dst *VCPU, t *Task) bool {
 	}
 	src.syncExec()
 	src.uninstallCurr()
-	if src.compEv != nil {
-		src.compEv.Cancel()
-		src.compEv = nil
-	}
+	src.compEv.Cancel()
+	src.compEv = sim.Event{}
 	t.state = TaskRunnable
 	t.enqueuedAt = vm.eng.Now()
 	t.vruntime = t.vruntime - src.minVruntime + dst.minVruntime

@@ -24,7 +24,7 @@ type VCPU struct {
 	hostActive bool
 	speed      float64  // cycles per ns while active
 	execMark   sim.Time // last integration point for curr's progress
-	compEv     *sim.Event
+	compEv     sim.Event
 	// lastSpeedMicro is the last KindVCPUSpeed value emitted, so redundant
 	// resumes at an unchanged speed don't flood the trace ring.
 	lastSpeedMicro int64
@@ -36,7 +36,7 @@ type VCPU struct {
 	needResched bool
 
 	// --- tick machinery ---
-	tickEv      *sim.Event
+	tickEv      sim.Event
 	pendingTick bool
 
 	// --- guest-visible kernel counters (vact's kernel instrumentation) ---
@@ -246,10 +246,8 @@ func (v *VCPU) Resumed(now sim.Time, speed float64) {
 func (v *VCPU) Stopped(now sim.Time) {
 	v.syncExec()
 	v.hostActive = false
-	if v.compEv != nil {
-		v.compEv.Cancel()
-		v.compEv = nil
-	}
+	v.compEv.Cancel()
+	v.compEv = sim.Event{}
 }
 
 // SpeedChanged implements host.Client.
@@ -325,10 +323,8 @@ func (v *VCPU) syncExec() {
 // scheduleCompletion (re)arms the event that fires when the running task's
 // current compute segment finishes.
 func (v *VCPU) scheduleCompletion() {
-	if v.compEv != nil {
-		v.compEv.Cancel()
-		v.compEv = nil
-	}
+	v.compEv.Cancel()
+	v.compEv = sim.Event{}
 	t := v.curr
 	if t == nil || !v.hostActive || math.IsInf(t.remaining, 1) {
 		return
@@ -341,7 +337,7 @@ func (v *VCPU) scheduleCompletion() {
 }
 
 func (v *VCPU) onComplete() {
-	v.compEv = nil
+	v.compEv = sim.Event{}
 	v.syncExec()
 	t := v.curr
 	if t == nil {
@@ -363,7 +359,7 @@ func (v *VCPU) startTicking(offset sim.Duration) {
 }
 
 func (v *VCPU) tickFire() {
-	v.tickEv = nil
+	v.tickEv = sim.Event{}
 	if !v.hostActive {
 		// The timer interrupt pends; it is delivered the moment the vCPU
 		// next runs (onResumeWork), exactly like a hardware timer raised
@@ -506,10 +502,8 @@ func (v *VCPU) contextSwitchTo(next *Task) {
 		prev.enqueuedAt = v.vm.eng.Now()
 		v.rq = append(v.rq, prev)
 	}
-	if v.compEv != nil {
-		v.compEv.Cancel()
-		v.compEv = nil
-	}
+	v.compEv.Cancel()
+	v.compEv = sim.Event{}
 	v.uninstallCurr()
 	v.removeFromRQ(next)
 	v.install(next)

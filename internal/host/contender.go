@@ -30,7 +30,7 @@ type PatternContender struct {
 	since     sim.Time
 	sleeping  bool
 	stopped   bool
-	stopEv    *sim.Event
+	stopEv    sim.Event
 }
 
 // NewPatternContender creates and starts a pattern contender on thread t.
@@ -88,10 +88,8 @@ func (p *PatternContender) Stopped(now sim.Time) {
 	if p.remaining < 0 {
 		p.remaining = 0
 	}
-	if p.stopEv != nil {
-		p.stopEv.Cancel()
-		p.stopEv = nil
-	}
+	p.stopEv.Cancel()
+	p.stopEv = sim.Event{}
 }
 
 // SpeedChanged implements Client. The contender consumes wall time, not
@@ -99,7 +97,7 @@ func (p *PatternContender) Stopped(now sim.Time) {
 func (p *PatternContender) SpeedChanged(sim.Time, float64) {}
 
 func (p *PatternContender) endBurst() {
-	p.stopEv = nil
+	p.stopEv = sim.Event{}
 	p.sleeping = true
 	p.entity.Block()
 	if p.stopped {

@@ -88,7 +88,7 @@ type Entity struct {
 	// CPU bandwidth control; quota==0 means unlimited.
 	quota      sim.Duration
 	periodUsed sim.Duration
-	refill     *sim.Event
+	refill     sim.Event
 
 	// Accounting.
 	lastChange  sim.Time
@@ -224,17 +224,15 @@ func (e *Entity) SetBandwidth(quota sim.Duration) {
 	}
 	e.quota = quota
 	if quota == 0 {
-		if e.refill != nil {
-			e.refill.Cancel()
-			e.refill = nil
-		}
+		e.refill.Cancel()
+		e.refill = sim.Event{}
 		e.periodUsed = 0
 		if e.state == Throttled {
 			e.unthrottle()
 		}
 		return
 	}
-	if e.refill == nil {
+	if !e.refill.Active() {
 		e.scheduleRefill()
 	}
 	// A running entity's slice must now also respect the quota boundary.
@@ -248,7 +246,7 @@ func (e *Entity) scheduleRefill() {
 	e.refill = e.host.eng.After(period, func() {
 		e.periodUsed = 0
 		if e.quota == 0 {
-			e.refill = nil
+			e.refill = sim.Event{}
 			return
 		}
 		e.scheduleRefill()

@@ -35,7 +35,7 @@ type Thread struct {
 	minVruntime int64
 	lastSync    sim.Time
 	curSpeed    float64
-	sliceEv     *sim.Event
+	sliceEv     sim.Event
 }
 
 // ID returns the thread's host-wide identifier.
@@ -198,7 +198,7 @@ func (t *Thread) enqueue(e *Entity, allowPreempt bool) {
 		t.schedule()
 		return
 	}
-	if t.sliceEv == nil || !t.sliceEv.Active() {
+	if !t.sliceEv.Active() {
 		t.setSlice()
 	}
 }
@@ -283,10 +283,8 @@ func (t *Thread) stopCurrent(to EntityState) {
 		return
 	}
 	t.syncCurrent()
-	if t.sliceEv != nil {
-		t.sliceEv.Cancel()
-		t.sliceEv = nil
-	}
+	t.sliceEv.Cancel()
+	t.sliceEv = sim.Event{}
 	t.current = nil
 	coreLevel := t.busyTransition()
 	e.setState(to)
@@ -341,10 +339,8 @@ func (t *Thread) resliceCurrent() {
 // quota boundary. With an empty queue and no quota, no event is needed — the
 // entity runs until something happens.
 func (t *Thread) setSlice() {
-	if t.sliceEv != nil {
-		t.sliceEv.Cancel()
-		t.sliceEv = nil
-	}
+	t.sliceEv.Cancel()
+	t.sliceEv = sim.Event{}
 	e := t.current
 	if e == nil {
 		return
@@ -369,7 +365,7 @@ func (t *Thread) setSlice() {
 }
 
 func (t *Thread) onSlice() {
-	t.sliceEv = nil
+	t.sliceEv = sim.Event{}
 	e := t.current
 	if e == nil {
 		return

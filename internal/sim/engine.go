@@ -1,67 +1,141 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync/atomic"
 )
 
-// Event is a scheduled callback. Events are created through Engine.At or
-// Engine.After and may be cancelled before they fire.
-type Event struct {
+// The event queue is a hierarchical timing wheel: wheelLevels rings of
+// wheelSlots slots each, where a level-l slot spans 2^(wheelBits*l) ticks of
+// 2^tickShift nanoseconds. Near-future events — the CFS ticks, time slices,
+// and probe heartbeats that dominate every scenario — land in level 0 and
+// are scheduled and fired in O(1) amortized; farther events land in a
+// coarser ring and cascade toward level 0 as the cursor approaches them.
+// Anything beyond the wheel's horizon (2^(wheelBits*wheelLevels) ticks,
+// about 68 simulated seconds) waits in a conventional binary heap and is
+// promoted into the wheel when it comes into range.
+//
+// Slots keep events in raw insertion order. When the cursor reaches a slot,
+// its contents are dumped into the "ready" heap, a small binary heap ordered
+// by (time, seq) that restores the exact global fire order — including the
+// FIFO tie-break for same-timestamp events — that the original heap engine
+// produced. The ready heap stays small (one slot's worth of events plus any
+// same-tick arrivals), so its log factor is over a handful of entries, not
+// the whole backlog.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256 slots per ring
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 3
+	tickShift   = 12 // 4.096µs per tick: a 1ms CFS tick is ~244 ticks, level 0
+)
+
+// maxTime is the limit that never binds; Step and Drain run against it.
+const maxTime = Time(1<<63 - 1)
+
+// node is the pooled representation of a scheduled event. Nodes are owned by
+// the engine: after an event fires or its cancellation is collected, the
+// node's generation is bumped and it returns to the free list for reuse, so
+// the steady-state schedule→fire path allocates nothing. Handles (Event)
+// carry the generation they were issued with; a stale handle — one whose
+// node has been recycled — compares unequal and becomes inert rather than
+// touching the event that now occupies the node.
+type node struct {
 	at       Time
 	seq      uint64 // insertion order, breaks ties deterministically
 	fn       func()
 	eng      *Engine
+	gen      uint32
 	canceled bool
-	fired    bool
+}
+
+// Event is a cancellable handle to a scheduled callback, issued by Engine.At
+// and Engine.After. It is a small value, not a pointer: copies are fine, and
+// the zero Event is valid and inert (not Active, Cancel is a no-op) — it
+// replaces the nil *Event of the old heap engine.
+type Event struct {
+	n   *node
+	at  Time
+	gen uint32
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (ev *Event) Cancel() {
-	if ev == nil || ev.canceled || ev.fired {
+// already-cancelled event — or the zero Event — is a no-op. Cancellation is
+// lazy: the node stays parked in its wheel slot and is collected when the
+// cursor sweeps past, so Cancel never restructures the queue.
+func (ev Event) Cancel() {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.canceled {
 		return
 	}
-	ev.canceled = true
-	if ev.eng != nil {
-		ev.eng.ncanceled++
-		ev.eng.maybeCompact()
-	}
+	n.canceled = true
+	n.eng.live--
 }
 
 // Active reports whether the event is still pending (not fired, not
 // cancelled).
-func (ev *Event) Active() bool { return ev != nil && !ev.canceled && !ev.fired }
+func (ev Event) Active() bool {
+	n := ev.n
+	return n != nil && n.gen == ev.gen && !n.canceled
+}
 
 // Time returns the virtual time at which the event is (or was) scheduled.
-func (ev *Event) Time() Time { return ev.at }
+func (ev Event) Time() Time { return ev.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// nodeLess is the global fire order: time, then insertion sequence.
+func nodeLess(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
-// compactThreshold is the minimum number of cancelled-but-undiscarded events
-// before compaction is considered; below it the garbage is cheaper than the
-// rebuild.
-const compactThreshold = 64
+// nodeHeap is a hand-rolled binary min-heap of nodes. container/heap would
+// box every push and pop through interface{} method calls; this sits on the
+// hot path, so the sift loops are inlined here.
+type nodeHeap []*node
+
+func (h *nodeHeap) push(n *node) {
+	q := append(*h, n)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nodeLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *nodeHeap) pop() *node {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	q = q[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= len(q) {
+			break
+		}
+		if r := c + 1; r < len(q) && nodeLess(q[r], q[c]) {
+			c = r
+		}
+		if !nodeLess(q[c], q[i]) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	*h = q
+	return top
+}
 
 // Engine is a discrete-event simulator: a virtual clock plus an ordered
 // queue of pending events. It is not safe for concurrent use; the entire
@@ -69,14 +143,25 @@ const compactThreshold = 64
 // The single exception is Interrupt, which may be called from another
 // goroutine to stop a runaway simulation.
 type Engine struct {
-	now       Time
-	events    eventHeap
-	seq       uint64
-	rng       *rand.Rand
-	seed      int64
-	nfired    uint64
-	ncanceled int // cancelled events still sitting in the heap
-	stopped   atomic.Bool
+	now  Time
+	cur  int64 // wheel cursor, in ticks; every slot strictly before it is empty
+	seq  uint64
+	rng  *rand.Rand
+	seed int64
+
+	nfired uint64
+	live   int // scheduled and neither fired nor cancelled
+
+	wheelCount int              // nodes resident in wheel slots, cancelled included
+	levelCount [wheelLevels]int // ditto, per level — lets the cursor skip dead rings
+	slots      [wheelLevels][wheelSlots][]*node
+	bitmap     [wheelLevels][wheelSlots / 64]uint64 // occupied-slot index per ring
+
+	ready    nodeHeap // events at ticks the cursor has reached, in fire order
+	overflow nodeHeap // events beyond the wheel horizon
+	free     []*node  // recycled nodes
+
+	stopped atomic.Bool
 }
 
 // NewEngine returns an engine whose clock reads zero and whose random source
@@ -101,8 +186,8 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Fired() uint64 { return e.nfired }
 
 // Pending returns the number of pending (active) events: cancelled events
-// that have not yet been discarded from the queue are not counted.
-func (e *Engine) Pending() int { return len(e.events) - e.ncanceled }
+// that have not yet been collected from the wheel are not counted.
+func (e *Engine) Pending() int { return e.live }
 
 // Interrupt asks the engine to stop executing events: every subsequent Step,
 // Run, RunFor, or Drain call returns without firing anything. It is the only
@@ -114,46 +199,309 @@ func (e *Engine) Interrupt() { e.stopped.Store(true) }
 // Interrupted reports whether Interrupt has been called.
 func (e *Engine) Interrupted() bool { return e.stopped.Load() }
 
-// maybeCompact rebuilds the heap without cancelled events once they are both
-// numerous and the majority of the queue. The rebuild preserves firing order
-// exactly: ordering is the total (time, seq) order, which does not depend on
-// the slice layout heap.Init starts from.
-func (e *Engine) maybeCompact() {
-	if e.ncanceled < compactThreshold || e.ncanceled*2 < len(e.events) {
-		return
+// alloc takes a node from the free list, or mints one.
+func (e *Engine) alloc() *node {
+	if n := len(e.free); n > 0 {
+		nd := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return nd
 	}
-	live := e.events[:0]
-	for _, ev := range e.events {
-		if !ev.canceled {
-			live = append(live, ev)
-		}
-	}
-	for i := len(live); i < len(e.events); i++ {
-		e.events[i] = nil
-	}
-	e.events = live
-	e.ncanceled = 0
-	heap.Init(&e.events)
+	return &node{eng: e}
+}
+
+// recycle invalidates every outstanding handle to n (by bumping the
+// generation) and returns it to the free list.
+func (e *Engine) recycle(n *node) {
+	n.gen++
+	n.fn = nil
+	n.canceled = false
+	e.free = append(e.free, n)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently corrupt causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
-	heap.Push(&e.events, ev)
-	return ev
+	n := e.alloc()
+	n.at, n.seq, n.fn = t, e.seq, fn
+	e.live++
+	e.place(n)
+	return Event{n: n, at: t, gen: n.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now.Add(d), fn)
+}
+
+// place files a node into the ready heap, a wheel slot, or the overflow
+// heap, depending on how far its tick is from the cursor. The level test is
+// on slot-index distance, not raw tick delta: an event must always land in a
+// slot the cursor has not yet passed at that level, or it would only be
+// reached after a full ring revolution.
+func (e *Engine) place(n *node) {
+	tick := int64(n.at) >> tickShift
+	if tick <= e.cur {
+		// The cursor has already reached (or passed) this tick — possible
+		// both for events scheduled at the current instant and after the
+		// cursor ran ahead of the clock chasing a far-future event. The
+		// ready heap keeps them in exact fire order either way.
+		e.ready.push(n)
+		return
+	}
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint(wheelBits * l)
+		if (tick>>shift)-(e.cur>>shift) < wheelSlots {
+			slot := int((tick >> shift) & wheelMask)
+			e.slots[l][slot] = append(e.slots[l][slot], n)
+			e.bitmap[l][slot>>6] |= 1 << uint(slot&63)
+			e.wheelCount++
+			e.levelCount[l]++
+			return
+		}
+	}
+	e.overflow.push(n)
+}
+
+// nextSlot returns the first occupied slot index >= from in ring l, or -1 if
+// the rest of the ring is empty.
+func (e *Engine) nextSlot(l, from int) int {
+	if from >= wheelSlots {
+		return -1
+	}
+	w := from >> 6
+	word := e.bitmap[l][w] &^ (1<<uint(from&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= wheelSlots/64 {
+			return -1
+		}
+		word = e.bitmap[l][w]
+	}
+}
+
+// dumpSlot0 moves a level-0 slot's contents into the ready heap, collecting
+// cancelled nodes on the way, and marks the slot empty.
+func (e *Engine) dumpSlot0(slot int) {
+	s := e.slots[0][slot]
+	e.bitmap[0][slot>>6] &^= 1 << uint(slot&63)
+	for i, n := range s {
+		s[i] = nil
+		e.wheelCount--
+		e.levelCount[0]--
+		if n.canceled {
+			e.recycle(n)
+		} else {
+			e.ready.push(n)
+		}
+	}
+	e.slots[0][slot] = s[:0]
+}
+
+// cascade redistributes a level-l slot whose span the cursor has entered:
+// every node lands in a finer ring (or the ready heap, if its tick is the
+// cursor's own), and cancelled nodes are collected. Correctness does not
+// depend on when cascades happen — only that a slot is cascaded before the
+// cursor would pass an event inside it.
+func (e *Engine) cascade(l, slot int) {
+	s := e.slots[l][slot]
+	e.bitmap[l][slot>>6] &^= 1 << uint(slot&63)
+	for i, n := range s {
+		s[i] = nil
+		e.wheelCount--
+		e.levelCount[l]--
+		if n.canceled {
+			e.recycle(n)
+			continue
+		}
+		e.place(n)
+	}
+	e.slots[l][slot] = s[:0]
+}
+
+// promoteOverflow drains overflow-heap events whose ticks have come inside
+// the wheel horizon. The overflow invariant — every overflow event is later
+// than every wheel event — makes the in-range test a cheap peek: only the
+// heap minimum can ever be due for promotion.
+func (e *Engine) promoteOverflow() {
+	const topShift = uint(wheelBits * (wheelLevels - 1))
+	for len(e.overflow) > 0 {
+		n := e.overflow[0]
+		if n.canceled {
+			e.recycle(e.overflow.pop())
+			continue
+		}
+		if (int64(n.at)>>tickShift>>topShift)-(e.cur>>topShift) >= wheelSlots {
+			return
+		}
+		e.place(e.overflow.pop())
+	}
+}
+
+// advance moves the cursor to the next occupied point of the wheel — the
+// nearest slot at the finest occupied level — dumping or cascading what it
+// finds, but never beyond limitTick. It reports whether it made progress;
+// false means no wheel event can fire at or before the limit. Rings whose
+// levelCount is zero are skipped wholesale, so sparse stretches cost bitmap
+// scans, not per-tick iteration; the one-window fallbacks below only run
+// when a finer ring still holds events that wrapped past its window edge.
+func (e *Engine) advance(limitTick int64) bool {
+	e.promoteOverflow()
+	// Level 0: nearest occupied slot before the window edge.
+	if e.levelCount[0] > 0 {
+		if s := e.nextSlot(0, int(e.cur&wheelMask)+1); s >= 0 {
+			tick := (e.cur &^ wheelMask) | int64(s)
+			if tick > limitTick {
+				return false
+			}
+			e.cur = tick
+			e.dumpSlot0(s)
+			return true
+		}
+		// Level 0 still holds events, but they wrapped past the window
+		// edge: cross exactly one window so their slots come back into
+		// scan range. The level-1 (and, on a ring wrap, level-2) slot that
+		// spans the new window must cascade first — its contents belong to
+		// the same window.
+		return e.stepWindow(limitTick)
+	}
+	p1 := e.cur >> wheelBits
+	if s := e.nextSlot(1, int(p1&wheelMask)+1); s >= 0 {
+		tick := ((p1 &^ wheelMask) | int64(s)) << wheelBits
+		if tick > limitTick {
+			return false
+		}
+		e.cur = tick
+		e.cascade(1, s)
+		return true
+	}
+	if e.levelCount[1] > 0 {
+		// Wrapped level-1 slots: cross one level-2 boundary to unwrap them.
+		p2 := e.cur >> (2 * wheelBits)
+		tick := (p2 + 1) << (2 * wheelBits)
+		if tick > limitTick {
+			return false
+		}
+		e.cur = tick
+		if s := int((p2 + 1) & wheelMask); e.bitmap[2][s>>6]&(1<<uint(s&63)) != 0 {
+			e.cascade(2, s)
+		}
+		if e.bitmap[1][0]&1 != 0 {
+			e.cascade(1, 0)
+		}
+		return true
+	}
+	p2 := e.cur >> (2 * wheelBits)
+	if s := e.nextSlot(2, int(p2&wheelMask)+1); s >= 0 {
+		tick := ((p2 &^ wheelMask) | int64(s)) << (2 * wheelBits)
+		if tick > limitTick {
+			return false
+		}
+		e.cur = tick
+		e.cascade(2, s)
+		return true
+	}
+	if e.levelCount[2] > 0 {
+		// Wrapped level-2 slots: cross the top-ring boundary.
+		p3 := e.cur >> (3 * wheelBits)
+		tick := (p3 + 1) << (3 * wheelBits)
+		if tick > limitTick {
+			return false
+		}
+		e.cur = tick
+		if e.bitmap[2][0]&1 != 0 {
+			e.cascade(2, 0)
+		}
+		return true
+	}
+	// The wheel is empty; the caller falls back to the overflow heap.
+	return false
+}
+
+// stepWindow crosses exactly one level-0 window boundary, cascading the
+// coarser slots that span the window the cursor enters.
+func (e *Engine) stepWindow(limitTick int64) bool {
+	p1 := e.cur>>wheelBits + 1
+	tick := p1 << wheelBits
+	if tick > limitTick {
+		return false
+	}
+	e.cur = tick
+	if p1&wheelMask == 0 {
+		// Level-1 ring wrap: the level-2 slot spanning the new window
+		// cascades first, possibly refilling level-1 slot 0.
+		if s := int((p1 >> wheelBits) & wheelMask); e.bitmap[2][s>>6]&(1<<uint(s&63)) != 0 {
+			e.cascade(2, s)
+		}
+	}
+	if s := int(p1 & wheelMask); e.bitmap[1][s>>6]&(1<<uint(s&63)) != 0 {
+		e.cascade(1, s)
+	}
+	if e.bitmap[0][0]&1 != 0 {
+		e.dumpSlot0(0)
+	}
+	return true
+}
+
+// next pops the globally earliest pending event, provided it fires at or
+// before limit; it returns nil otherwise. The cursor advances only as far as
+// the earlier of that event and the limit, so a Run that stops short leaves
+// the wheel positioned for cheap rescheduling.
+func (e *Engine) next(limit Time) *node {
+	limitTick := int64(limit) >> tickShift
+	for {
+		for len(e.ready) > 0 {
+			n := e.ready[0]
+			if n.canceled {
+				e.recycle(e.ready.pop())
+				continue
+			}
+			if n.at > limit {
+				return nil
+			}
+			return e.ready.pop()
+		}
+		if e.wheelCount == 0 {
+			for len(e.overflow) > 0 && e.overflow[0].canceled {
+				e.recycle(e.overflow.pop())
+			}
+			if len(e.overflow) == 0 || e.overflow[0].at > limit {
+				return nil
+			}
+			// Re-base the cursor at the overflow minimum; promotion then
+			// pulls it (and everything else newly in range) into the wheel
+			// or the ready heap.
+			e.cur = int64(e.overflow[0].at) >> tickShift
+			e.promoteOverflow()
+			continue
+		}
+		if !e.advance(limitTick) {
+			return nil
+		}
+	}
+}
+
+// fire executes one node: clock forward, node recycled, callback run. The
+// node is recycled before the callback so the callback can reschedule
+// without growing the pool, and so the event's own handle is already inert
+// (not Active) while it runs.
+func (e *Engine) fire(n *node) {
+	e.now = n.at
+	fn := n.fn
+	e.live--
+	e.recycle(n)
+	e.nfired++
+	fn()
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -162,37 +510,24 @@ func (e *Engine) Step() bool {
 	if e.stopped.Load() {
 		return false
 	}
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			e.ncanceled--
-			continue
-		}
-		e.now = ev.at
-		ev.fired = true
-		e.nfired++
-		ev.fn()
-		return true
+	n := e.next(maxTime)
+	if n == nil {
+		return false
 	}
-	return false
+	e.fire(n)
+	return true
 }
 
 // Run executes events in order until the clock would pass `until`, then sets
 // the clock to exactly `until`. Events scheduled at `until` itself are
 // executed.
 func (e *Engine) Run(until Time) {
-	for len(e.events) > 0 && !e.stopped.Load() {
-		// Peek.
-		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
-			e.ncanceled--
-			continue
-		}
-		if next.at > until {
+	for !e.stopped.Load() {
+		n := e.next(until)
+		if n == nil {
 			break
 		}
-		e.Step()
+		e.fire(n)
 	}
 	if e.now < until {
 		e.now = until

@@ -53,7 +53,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelDuringRun(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
-	var ev2 *Event
+	var ev2 Event
 	e.At(10, func() { ev2.Cancel() })
 	ev2 = e.At(11, func() { fired = true })
 	e.Run(20)
@@ -211,16 +211,16 @@ func TestEngineAuxiliaries(t *testing.T) {
 	if e.Step() {
 		t.Fatal("step on empty queue must return false")
 	}
-	var nilEv *Event
-	nilEv.Cancel() // must not panic
-	if nilEv.Active() {
-		t.Fatal("nil event is not active")
+	var zero Event
+	zero.Cancel() // must not panic
+	if zero.Active() {
+		t.Fatal("zero event is not active")
 	}
 }
 
 func TestPendingExcludesCancelled(t *testing.T) {
 	e := NewEngine(1)
-	evs := make([]*Event, 5)
+	evs := make([]Event, 5)
 	for i := range evs {
 		evs[i] = e.At(Time(10*(i+1)), func() {})
 	}
@@ -256,7 +256,7 @@ func TestPendingExcludesCancelled(t *testing.T) {
 func TestCancelThenRunDiscardsExactly(t *testing.T) {
 	e := NewEngine(1)
 	fired := 0
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 100; i++ {
 		evs = append(evs, e.At(Time(i), func() { fired++ }))
 	}
@@ -272,12 +272,14 @@ func TestCancelThenRunDiscardsExactly(t *testing.T) {
 	}
 }
 
-func TestCompactionPreservesOrderAndBoundsGarbage(t *testing.T) {
+func TestLazyCancellationPreservesOrderAndCollects(t *testing.T) {
 	e := NewEngine(1)
 	var order []Time
-	var cancel []*Event
+	var cancel []Event
+	// Spread events across many ticks and slots so cancelled nodes sit in
+	// wheel slots, not just the ready heap.
 	for i := 0; i < 4096; i++ {
-		ev := e.At(Time(i), func() { order = append(order, e.Now()) })
+		ev := e.At(Time(i)*Time(Millisecond), func() { order = append(order, e.Now()) })
 		if i%8 != 0 {
 			cancel = append(cancel, ev)
 		}
@@ -285,21 +287,86 @@ func TestCompactionPreservesOrderAndBoundsGarbage(t *testing.T) {
 	for _, ev := range cancel {
 		ev.Cancel()
 	}
-	// Compaction must have kicked in: the raw queue cannot still hold all
-	// 4096 events when only 512 are live.
-	if len(e.events) >= 4096 {
-		t.Fatalf("heap not compacted: raw len %d", len(e.events))
-	}
 	if e.Pending() != 512 {
 		t.Fatalf("pending=%d want 512", e.Pending())
 	}
-	e.Run(1 << 20)
+	e.Run(Time(4096) * Time(Millisecond))
 	if len(order) != 512 {
 		t.Fatalf("fired %d want 512", len(order))
 	}
 	for i := 1; i < len(order); i++ {
 		if order[i] <= order[i-1] {
-			t.Fatalf("compaction broke ordering at %d: %v then %v", i, order[i-1], order[i])
+			t.Fatalf("lazy cancellation broke ordering at %d: %v then %v", i, order[i-1], order[i])
+		}
+	}
+	// Every cancelled node must have been collected back into the pool.
+	if e.wheelCount != 0 || len(e.ready) != 0 || len(e.overflow) != 0 {
+		t.Fatalf("garbage left behind: wheel=%d ready=%d overflow=%d",
+			e.wheelCount, len(e.ready), len(e.overflow))
+	}
+}
+
+func TestGenerationSafetyAfterReuse(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	stale := e.At(10, func() { fired++ })
+	e.Run(10)
+	if fired != 1 {
+		t.Fatalf("fired=%d", fired)
+	}
+	// The node behind `stale` is back in the pool. Schedule a new event that
+	// reuses it; the stale handle must stay inert.
+	fresh := e.At(20, func() { fired++ })
+	if stale.Active() {
+		t.Fatal("stale handle reports active after node reuse")
+	}
+	stale.Cancel() // must NOT cancel the fresh event occupying the node
+	if !fresh.Active() {
+		t.Fatal("stale Cancel leaked through to the reused node")
+	}
+	if stale.Time() != 10 {
+		t.Fatalf("stale handle lost its timestamp: %v", stale.Time())
+	}
+	e.Run(20)
+	if fired != 2 {
+		t.Fatalf("fresh event did not fire: fired=%d", fired)
+	}
+	// Same safety for cancel-then-reuse: a cancelled handle whose node is
+	// collected and reissued must not be able to cancel the new occupant.
+	c := e.At(30, func() {})
+	c.Cancel()
+	e.Run(30) // collects the cancelled node
+	reused := e.At(40, func() { fired++ })
+	c.Cancel() // stale double-cancel
+	if !reused.Active() {
+		t.Fatal("stale double-Cancel killed a reused node")
+	}
+	e.Run(40)
+	if fired != 3 {
+		t.Fatalf("reused event did not fire: fired=%d", fired)
+	}
+}
+
+func TestFarFutureOverflowAndPromotion(t *testing.T) {
+	e := NewEngine(1)
+	var order []Time
+	// Beyond the wheel horizon (~68.7s): lands in the overflow heap.
+	far := Time(600) * Time(Second)
+	e.At(far, func() { order = append(order, e.Now()) })
+	e.At(far+1, func() { order = append(order, e.Now()) })
+	// Near-future event interleaved.
+	e.At(5, func() { order = append(order, e.Now()) })
+	if len(e.overflow) != 2 {
+		t.Fatalf("far events not in overflow: %d", len(e.overflow))
+	}
+	e.Run(far + 1)
+	want := []Time{5, far, far + 1}
+	if len(order) != 3 {
+		t.Fatalf("fired %d want 3: %v", len(order), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("promotion broke order: got %v want %v", order, want)
 		}
 	}
 }

@@ -16,20 +16,18 @@ func FuzzEngineOps(f *testing.F) {
 	f.Add([]byte{1, 0, 1, 0, 4, 1, 0, 2, 2, 4, 4, 4, 3, 30, 0, 40, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e := NewEngine(3)
-		var all []*Event
-		fired := make(map[*Event]bool)
+		var all []Event
+		var wasFired []bool
 		newEvent := func(at Time) {
-			var ev *Event
-			ev = e.At(at, func() {
-				if fired[ev] {
+			idx := len(all)
+			ev := e.At(at, func() {
+				if wasFired[idx] {
 					t.Fatal("event fired twice")
 				}
-				if ev.canceled {
-					t.Fatal("cancelled event fired")
-				}
-				fired[ev] = true
+				wasFired[idx] = true
 			})
 			all = append(all, ev)
+			wasFired = append(wasFired, false)
 		}
 		last := e.Now()
 		for i := 0; i+1 < len(data); i += 2 {
@@ -39,12 +37,11 @@ func FuzzEngineOps(f *testing.F) {
 				newEvent(e.Now().Add(Duration(arg) * Millisecond))
 			case 1:
 				e.After(Duration(arg)*Millisecond, func() {})
-				all = append(all, nil) // placeholder keeps arg-indexing stable
+				all = append(all, Event{}) // placeholder keeps arg-indexing stable
+				wasFired = append(wasFired, false)
 			case 2:
 				if len(all) > 0 {
-					if ev := all[int(arg)%len(all)]; ev != nil {
-						ev.Cancel()
-					}
+					all[int(arg)%len(all)].Cancel()
 				}
 			case 3:
 				e.RunFor(Duration(arg) * Millisecond)
@@ -56,34 +53,28 @@ func FuzzEngineOps(f *testing.F) {
 			}
 			last = e.Now()
 			// Pending must count active events exactly, never the
-			// cancelled-but-undiscarded garbage.
+			// cancelled-but-uncollected garbage. Events from op 1 are
+			// untracked, so Pending may exceed the tracked-active count but
+			// never undershoot it.
 			active := 0
 			for _, ev := range all {
 				if ev.Active() {
 					active++
 				}
 			}
-			// Events from op 1 (placeholder nil) are never cancelled; count
-			// the ones still pending via the queue total.
 			if e.Pending() < active {
 				t.Fatalf("Pending()=%d < active tracked events %d", e.Pending(), active)
 			}
 		}
-		before := e.Fired()
 		e.Run(1 << 40)
-		stillActive := 0
-		for _, ev := range all {
+		for i, ev := range all {
 			if ev.Active() {
-				stillActive++
+				t.Fatalf("event %d still active after drain", i)
 			}
-		}
-		if stillActive != 0 {
-			t.Fatalf("%d events still active after drain", stillActive)
 		}
 		if e.Pending() != 0 {
 			t.Fatalf("Pending()=%d after drain", e.Pending())
 		}
-		_ = before
 	})
 }
 
@@ -94,7 +85,7 @@ func FuzzEngineSchedule(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e := NewEngine(1)
 		var fired []Time
-		var cancel []*Event
+		var cancel []Event
 		total := 0
 		for i, b := range data {
 			ev := e.At(Time(b)*16, func() { fired = append(fired, e.Now()) })
@@ -114,6 +105,219 @@ func FuzzEngineSchedule(f *testing.F) {
 		for i := 1; i < len(fired); i++ {
 			if fired[i] < fired[i-1] {
 				t.Fatal("out of order")
+			}
+		}
+	})
+}
+
+// FuzzWheelCascade drives the timing-wheel-specific machinery: each byte
+// pair selects a delay magnitude that lands in a specific wheel level (or
+// the overflow heap), so cascades across levels, far-future promotion, and
+// cancel-then-reuse of pooled nodes all get exercised. Checks: fire order
+// non-decreasing, FIFO tie-break exact, conservation (every scheduled event
+// fires exactly once or was cancelled), and full garbage collection.
+func FuzzWheelCascade(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 5})
+	f.Add([]byte{3, 0, 3, 0, 3, 0, 0, 0})                // far-future + now
+	f.Add([]byte{2, 9, 1, 9, 0, 9, 3, 9, 2, 1, 1, 1})    // descending levels
+	f.Add([]byte{4, 0, 4, 1, 4, 2, 4, 3, 0, 0, 1, 0})    // cancel-heavy
+	f.Add([]byte{3, 7, 4, 0, 3, 7, 4, 1, 0, 0, 2, 0, 5}) // overflow churn
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewEngine(9)
+		// Delay buckets, one per wheel region. Level 0 spans 256 ticks of
+		// 4.096µs; level 1 spans ~268ms; level 2 spans ~68.7s; beyond is
+		// overflow.
+		buckets := []Duration{
+			100 * Microsecond, // level 0
+			10 * Millisecond,  // level 1
+			2 * Second,        // level 2
+			200 * Second,      // overflow
+			50 * Microsecond,  // level 0, same-tick collisions likely
+		}
+		type rec struct {
+			ev    Event
+			at    Time
+			seq   int
+			fired bool
+		}
+		var recs []*rec
+		seq := 0
+		var firedOrder []*rec
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%6, int64(data[i+1])
+			switch op {
+			case 0, 1, 2, 3:
+				d := buckets[op] + Duration(arg)*buckets[op]/8
+				r := &rec{at: e.Now().Add(d), seq: seq}
+				seq++
+				r.ev = e.At(r.at, func() {
+					r.fired = true
+					firedOrder = append(firedOrder, r)
+				})
+				recs = append(recs, r)
+			case 4:
+				if len(recs) > 0 {
+					recs[int(arg)%len(recs)].ev.Cancel()
+				}
+			case 5:
+				// Partial run: forces limit-bounded advance and later
+				// promotion of whatever stayed behind.
+				e.RunFor(Duration(arg) * Millisecond)
+			}
+		}
+		e.Run(maxTime)
+		// Conservation: every record either fired or is inactive (cancelled).
+		want := 0
+		for _, r := range recs {
+			if r.ev.Active() {
+				t.Fatalf("event seq=%d still active after full drain", r.seq)
+			}
+			if r.fired {
+				want++
+			}
+		}
+		if len(firedOrder) != want {
+			t.Fatalf("fired %d records, %d marked fired", len(firedOrder), want)
+		}
+		// Global fire order: (time, insertion seq) strictly increasing.
+		for i := 1; i < len(firedOrder); i++ {
+			a, b := firedOrder[i-1], firedOrder[i]
+			if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+				t.Fatalf("fire order violated: (%v,seq%d) then (%v,seq%d)",
+					a.at, a.seq, b.at, b.seq)
+			}
+		}
+		if e.Pending() != 0 || e.wheelCount != 0 || len(e.ready) != 0 || len(e.overflow) != 0 {
+			t.Fatalf("engine not empty after drain: pending=%d wheel=%d ready=%d overflow=%d",
+				e.Pending(), e.wheelCount, len(e.ready), len(e.overflow))
+		}
+	})
+}
+
+// FuzzDrainLimits runs Drain with arbitrary limits between schedule bursts:
+// Drain must fire exactly min(limit, queued) events and leave the remainder
+// intact and ordered.
+func FuzzDrainLimits(f *testing.F) {
+	f.Add([]byte{5, 3, 5, 100, 2, 1})
+	f.Add([]byte{255, 0, 10, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewEngine(4)
+		queued := 0
+		fired := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			n, limit := int(data[i]), uint64(data[i+1])
+			for j := 0; j < n; j++ {
+				e.After(Duration(j)*Millisecond, func() { fired++ })
+				queued++
+			}
+			got := e.Drain(limit)
+			wantFire := uint64(queued)
+			if limit < wantFire {
+				wantFire = limit
+			}
+			if got != wantFire {
+				t.Fatalf("Drain(%d) with %d queued fired %d, want %d", limit, queued, got, wantFire)
+			}
+			queued -= int(got)
+			if e.Pending() != queued {
+				t.Fatalf("pending=%d want %d", e.Pending(), queued)
+			}
+		}
+		e.Run(maxTime)
+		if e.Pending() != 0 {
+			t.Fatalf("pending=%d after drain", e.Pending())
+		}
+	})
+}
+
+// Regression corners distilled from the wheel's tricky paths: each is a
+// deterministic scenario that at some point required a dedicated fix in the
+// placement/advance logic.
+func TestWheelCorners(t *testing.T) {
+	t.Run("WrapCollision", func(t *testing.T) {
+		// An event one full level-0 ring ahead of the cursor must NOT land in
+		// the cursor's own slot (it would be skipped for a revolution).
+		e := NewEngine(1)
+		fired := false
+		// Advance the cursor off zero first.
+		e.At(1<<tickShift, func() {})
+		e.Run(1 << tickShift)
+		at := e.Now().Add(Duration(wheelSlots << tickShift)) // exactly one ring
+		e.At(at, func() { fired = true })
+		e.Run(at)
+		if !fired {
+			t.Fatal("event one ring ahead never fired (wrap collision)")
+		}
+	})
+	t.Run("WrappedLevel0", func(t *testing.T) {
+		// Events behind the cursor's ring position but ahead in time: the
+		// window-crossing path must find them.
+		e := NewEngine(1)
+		var got []Time
+		// Move cursor near the end of a level-0 window.
+		warm := Time(250 << tickShift)
+		e.At(warm, func() {})
+		e.Run(warm)
+		// Now schedule just past the window edge (ring index wraps to low).
+		tgt := Time(260 << tickShift)
+		e.At(tgt, func() { got = append(got, e.Now()) })
+		e.Run(tgt)
+		if len(got) != 1 || got[0] != tgt {
+			t.Fatalf("wrapped level-0 event mishandled: %v", got)
+		}
+	})
+	t.Run("OverflowRebaseThenSchedule", func(t *testing.T) {
+		// After chasing a far-future overflow event, the clock and cursor are
+		// far ahead; new near-future events must still fire correctly.
+		e := NewEngine(1)
+		var got []Time
+		far := Time(300) * Time(Second)
+		e.At(far, func() { got = append(got, e.Now()) })
+		e.Run(far)
+		e.After(Millisecond, func() { got = append(got, e.Now()) })
+		e.RunFor(Millisecond)
+		if len(got) != 2 || got[1] != far.Add(Millisecond) {
+			t.Fatalf("post-rebase scheduling broken: %v", got)
+		}
+	})
+	t.Run("LimitBoundedCursor", func(t *testing.T) {
+		// Run(until) with only a far-future event pending must not drag the
+		// cursor to that event; a subsequent near event still fires in order.
+		e := NewEngine(1)
+		var got []Time
+		far := Time(400) * Time(Second)
+		e.At(far, func() { got = append(got, e.Now()) })
+		e.Run(Time(Second)) // stops well short
+		near := e.Now().Add(Millisecond)
+		e.At(near, func() { got = append(got, e.Now()) })
+		e.Run(far)
+		if len(got) != 2 || got[0] != near || got[1] != far {
+			t.Fatalf("limit-bounded advance broken: %v", got)
+		}
+	})
+	t.Run("CancelAllThenReuse", func(t *testing.T) {
+		// Cancel an entire slot's worth, drain, and confirm the pool reuses
+		// nodes rather than leaking or corrupting them.
+		e := NewEngine(1)
+		var evs []Event
+		for i := 0; i < 64; i++ {
+			evs = append(evs, e.After(Duration(i+1)*Millisecond, func() { t.Fatal("cancelled event fired") }))
+		}
+		for _, ev := range evs {
+			ev.Cancel()
+		}
+		e.RunFor(100 * Millisecond)
+		fired := 0
+		for i := 0; i < 64; i++ {
+			e.After(Duration(i+1)*Millisecond, func() { fired++ })
+		}
+		e.RunFor(100 * Millisecond)
+		if fired != 64 {
+			t.Fatalf("reused nodes misfired: %d/64", fired)
+		}
+		for _, ev := range evs {
+			if ev.Active() {
+				t.Fatal("stale handle active after reuse")
 			}
 		}
 	})

@@ -1,0 +1,339 @@
+// Package simbench defines the simulator-core benchmark: the headline
+// throughput metrics for the discrete-event engine, the scenarios that
+// measure them, and a schema-versioned JSON artifact (BENCH_core.json) so
+// recorded baselines stay machine-readable across engine changes.
+//
+// Two headline metrics:
+//
+//   - events fired per wall-clock second, on a hold-model microbenchmark
+//     that keeps a fixed backlog of pending events while firing and
+//     rescheduling — the pure engine primitive mix;
+//   - simulated vCPU-seconds per wall-clock second, on a synthetic macro
+//     scenario approximating the real simulator load (per-vCPU periodic
+//     ticks plus jittered slice events), which is the number that tells you
+//     how much scenario time a second of CPU buys.
+//
+// Every scenario runs on both the production timing-wheel engine and the
+// retained heap engine (internal/sim/heapengine), so speedups are recorded
+// as measurements, not claims.
+package simbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"vsched/internal/harness"
+	"vsched/internal/metrics"
+	"vsched/internal/sim"
+	"vsched/internal/sim/heapengine"
+)
+
+// Schema identifies the artifact format. Bump the version when the JSON
+// shape changes; readers reject artifacts whose schema they don't know.
+const Schema = "vsched.simbench/v1"
+
+// EngineKind selects which event-queue implementation a scenario runs on.
+type EngineKind string
+
+const (
+	// Wheel is the production hierarchical timing-wheel engine.
+	Wheel EngineKind = "wheel"
+	// Heap is the original container/heap engine kept as baseline.
+	Heap EngineKind = "heap"
+)
+
+// engine is the least common denominator of the two engines that the
+// scenarios need.
+type engine interface {
+	After(d sim.Duration, fn func())
+	Step() bool
+	Run(until sim.Time)
+	Now() sim.Time
+	Rand() interface{ Int63n(int64) int64 }
+}
+
+type wheelEng struct{ e *sim.Engine }
+
+func (w wheelEng) After(d sim.Duration, fn func())        { w.e.After(d, fn) }
+func (w wheelEng) Step() bool                             { return w.e.Step() }
+func (w wheelEng) Run(until sim.Time)                     { w.e.Run(until) }
+func (w wheelEng) Now() sim.Time                          { return w.e.Now() }
+func (w wheelEng) Rand() interface{ Int63n(int64) int64 } { return w.e.Rand() }
+
+type heapEng struct{ e *heapengine.Engine }
+
+func (h heapEng) After(d sim.Duration, fn func())        { h.e.After(d, fn) }
+func (h heapEng) Step() bool                             { return h.e.Step() }
+func (h heapEng) Run(until sim.Time)                     { h.e.Run(until) }
+func (h heapEng) Now() sim.Time                          { return h.e.Now() }
+func (h heapEng) Rand() interface{ Int63n(int64) int64 } { return h.e.Rand() }
+
+func newEngine(kind EngineKind, seed int64) (engine, error) {
+	switch kind {
+	case Wheel:
+		return wheelEng{sim.NewEngine(seed)}, nil
+	case Heap:
+		return heapEng{heapengine.NewEngine(seed)}, nil
+	}
+	return nil, fmt.Errorf("simbench: unknown engine kind %q", kind)
+}
+
+// Stat is an aggregated sample: mean±stddev over replicate runs, with the
+// range and count preserved.
+type Stat struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	N      uint64  `json:"n"`
+}
+
+func statOf(s metrics.Summary) Stat {
+	return Stat{Mean: s.Mean(), Stddev: s.Stddev(), Min: s.Min(), Max: s.Max(), N: s.N()}
+}
+
+// ScenarioResult is one (scenario, engine) cell of the benchmark.
+type ScenarioResult struct {
+	// Name identifies the scenario, e.g. "hold/pending=100000" or
+	// "vcpu_ticks/vcpus=64".
+	Name   string     `json:"name"`
+	Engine EngineKind `json:"engine"`
+	// EventsPerSec is events fired per wall-clock second.
+	EventsPerSec Stat `json:"events_per_sec"`
+	// VCPUSecPerSec is simulated vCPU-seconds per wall-clock second; only
+	// macro scenarios report it (zero N otherwise).
+	VCPUSecPerSec Stat `json:"vcpu_sec_per_sec,omitempty"`
+}
+
+// Result is the full benchmark artifact (BENCH_core.json).
+type Result struct {
+	Schema    string           `json:"schema"`
+	Name      string           `json:"name"` // benchmark family, "core"
+	BaseSeed  int64            `json:"base_seed"`
+	Reps      int              `json:"reps"`
+	Smoke     bool             `json:"smoke,omitempty"`
+	GoVersion string           `json:"go_version"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Write validates r, stamps the schema, and emits indented JSON.
+func Write(w io.Writer, r Result) error {
+	r.Schema = Schema
+	if err := validate(r); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses and validates a benchmark artifact.
+func Read(rd io.Reader) (Result, error) {
+	var r Result
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return Result{}, fmt.Errorf("simbench: parsing artifact: %w", err)
+	}
+	if err := validate(r); err != nil {
+		return Result{}, err
+	}
+	return r, nil
+}
+
+func validate(r Result) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("simbench: unknown schema %q (want %q)", r.Schema, Schema)
+	}
+	if r.Name == "" {
+		return fmt.Errorf("simbench: artifact has no benchmark name")
+	}
+	if r.Reps < 1 {
+		return fmt.Errorf("simbench: reps %d < 1", r.Reps)
+	}
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("simbench: artifact has no scenarios")
+	}
+	for _, s := range r.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("simbench: scenario with empty name")
+		}
+		if s.Engine != Wheel && s.Engine != Heap {
+			return fmt.Errorf("simbench: scenario %q has unknown engine %q", s.Name, s.Engine)
+		}
+		if s.EventsPerSec.N == 0 {
+			return fmt.Errorf("simbench: scenario %q/%s has no events_per_sec samples", s.Name, s.Engine)
+		}
+	}
+	return nil
+}
+
+// Speedup returns the wheel-over-heap events/sec ratio for the named
+// scenario, or ok=false if either engine's cell is missing.
+func (r Result) Speedup(scenario string) (float64, bool) {
+	var wheel, heap float64
+	for _, s := range r.Scenarios {
+		if s.Name != scenario {
+			continue
+		}
+		switch s.Engine {
+		case Wheel:
+			wheel = s.EventsPerSec.Mean
+		case Heap:
+			heap = s.EventsPerSec.Mean
+		}
+	}
+	if wheel == 0 || heap == 0 {
+		return 0, false
+	}
+	return wheel / heap, true
+}
+
+// runHold executes the hold-model microbenchmark: fill the queue to
+// `pending` events with the production delay mix, then fire/reschedule
+// `events` times. Returns events fired per wall second.
+func runHold(kind EngineKind, seed int64, pending, events int) (float64, error) {
+	e, err := newEngine(kind, seed)
+	if err != nil {
+		return 0, err
+	}
+	rng := e.Rand()
+	delay := func() sim.Duration {
+		// ~2% far-future timers, the rest near-future tick/slice territory —
+		// the mix the real scenarios produce.
+		if rng.Int63n(50) == 0 {
+			return sim.Duration(rng.Int63n(int64(100 * sim.Second)))
+		}
+		return sim.Duration(rng.Int63n(int64(10 * sim.Millisecond)))
+	}
+	fn := func() {}
+	for i := 0; i < pending; i++ {
+		e.After(delay(), fn)
+	}
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		e.Step()
+		e.After(delay(), fn)
+	}
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return float64(events) / wall, nil
+}
+
+// runVCPUTicks executes the synthetic macro scenario: `vcpus` virtual CPUs,
+// each carrying a periodic 1ms tick and a jittered slice timer that
+// reschedules on fire (and is occasionally cancelled and re-armed, like real
+// preemption). Returns (simulated vCPU-seconds per wall second, events per
+// wall second).
+func runVCPUTicks(kind EngineKind, seed int64, vcpus int, dur sim.Duration) (float64, float64, error) {
+	e, err := newEngine(kind, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := e.Rand()
+	fired := 0
+	for i := 0; i < vcpus; i++ {
+		var tick func()
+		tick = func() {
+			fired++
+			e.After(sim.Millisecond, tick)
+		}
+		e.After(sim.Duration(rng.Int63n(int64(sim.Millisecond))), tick)
+		var slice func()
+		slice = func() {
+			fired++
+			// 100µs..10ms, like granularity/quota boundaries.
+			e.After(100*sim.Microsecond+sim.Duration(rng.Int63n(int64(10*sim.Millisecond))), slice)
+		}
+		e.After(sim.Duration(rng.Int63n(int64(5*sim.Millisecond))), slice)
+	}
+	start := time.Now()
+	e.Run(sim.Time(dur))
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	simSec := dur.Seconds() * float64(vcpus)
+	return simSec / wall, float64(fired) / wall, nil
+}
+
+// CoreConfig parameterizes RunCore.
+type CoreConfig struct {
+	BaseSeed int64
+	Reps     int
+	// Smoke shrinks every scenario to a fraction of a second of work; used
+	// by CI to check the pipeline end to end without paying benchmark time.
+	Smoke bool
+}
+
+// RunCore runs the full core benchmark matrix — hold-model at several
+// backlog sizes plus the vCPU-tick macro scenario, on both engines — and
+// aggregates replicate runs into the artifact. Progress lines go to log (may
+// be nil).
+func RunCore(cfg CoreConfig, log io.Writer) (Result, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	holdSizes := []int{1_000, 10_000, 100_000}
+	events := 2_000_000
+	vcpus := 64
+	macroDur := 20 * sim.Second
+	if cfg.Smoke {
+		holdSizes = []int{1_000}
+		events = 20_000
+		vcpus = 4
+		macroDur = 200 * sim.Millisecond
+	}
+	res := Result{
+		Schema:    Schema,
+		Name:      "core",
+		BaseSeed:  cfg.BaseSeed,
+		Reps:      cfg.Reps,
+		Smoke:     cfg.Smoke,
+		GoVersion: runtime.Version(),
+	}
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	for _, kind := range []EngineKind{Heap, Wheel} {
+		for _, pending := range holdSizes {
+			name := fmt.Sprintf("hold/pending=%d", pending)
+			var eps metrics.Summary
+			for rep := 0; rep < cfg.Reps; rep++ {
+				seed := harness.DeriveSeed(cfg.BaseSeed, "simbench/"+name+"/"+string(kind), rep)
+				v, err := runHold(kind, seed, pending, events)
+				if err != nil {
+					return Result{}, err
+				}
+				eps.Add(v)
+			}
+			logf("%-28s %-5s %.3g events/s (±%.2g)\n", name, kind, eps.Mean(), eps.Stddev())
+			res.Scenarios = append(res.Scenarios, ScenarioResult{
+				Name: name, Engine: kind, EventsPerSec: statOf(eps),
+			})
+		}
+		name := fmt.Sprintf("vcpu_ticks/vcpus=%d", vcpus)
+		var vps, eps metrics.Summary
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := harness.DeriveSeed(cfg.BaseSeed, "simbench/"+name+"/"+string(kind), rep)
+			v, ev, err := runVCPUTicks(kind, seed, vcpus, macroDur)
+			if err != nil {
+				return Result{}, err
+			}
+			vps.Add(v)
+			eps.Add(ev)
+		}
+		logf("%-28s %-5s %.3g vCPU-s/s, %.3g events/s\n", name, kind, vps.Mean(), eps.Mean())
+		res.Scenarios = append(res.Scenarios, ScenarioResult{
+			Name: name, Engine: kind,
+			EventsPerSec:  statOf(eps),
+			VCPUSecPerSec: statOf(vps),
+		})
+	}
+	return res, nil
+}

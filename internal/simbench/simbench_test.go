@@ -1,0 +1,157 @@
+package simbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleResult() Result {
+	return Result{
+		Schema:    Schema,
+		Name:      "core",
+		BaseSeed:  42,
+		Reps:      3,
+		GoVersion: "go1.0-test",
+		Scenarios: []ScenarioResult{
+			{
+				Name: "hold/pending=1000", Engine: Heap,
+				EventsPerSec: Stat{Mean: 1e6, Stddev: 1e4, Min: 9.9e5, Max: 1.1e6, N: 3},
+			},
+			{
+				Name: "hold/pending=1000", Engine: Wheel,
+				EventsPerSec: Stat{Mean: 3e6, Stddev: 2e4, Min: 2.9e6, Max: 3.1e6, N: 3},
+			},
+			{
+				Name: "vcpu_ticks/vcpus=64", Engine: Wheel,
+				EventsPerSec:  Stat{Mean: 2e6, Stddev: 0, Min: 2e6, Max: 2e6, N: 3},
+				VCPUSecPerSec: Stat{Mean: 500, Stddev: 10, Min: 490, Max: 510, N: 3},
+			},
+		},
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	want := sampleResult()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadRejectsBadArtifacts(t *testing.T) {
+	cases := map[string]func(*Result){
+		"wrong schema":     func(r *Result) { r.Schema = "vsched.simbench/v999" },
+		"no name":          func(r *Result) { r.Name = "" },
+		"zero reps":        func(r *Result) { r.Reps = 0 },
+		"no scenarios":     func(r *Result) { r.Scenarios = nil },
+		"unnamed scenario": func(r *Result) { r.Scenarios[0].Name = "" },
+		"unknown engine":   func(r *Result) { r.Scenarios[0].Engine = "abacus" },
+		"empty stat":       func(r *Result) { r.Scenarios[0].EventsPerSec = Stat{} },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := sampleResult()
+			mutate(&r)
+			// Serialize without Write's validation/stamping.
+			var buf bytes.Buffer
+			okR := sampleResult()
+			if err := Write(&buf, okR); err != nil {
+				t.Fatalf("Write of valid artifact: %v", err)
+			}
+			// Mutate the valid JSON through a re-encode of the broken struct.
+			buf.Reset()
+			enc := jsonEncode(&buf, r)
+			if enc != nil {
+				t.Fatalf("encode: %v", enc)
+			}
+			if _, err := Read(&buf); err == nil {
+				t.Fatalf("Read accepted artifact with %s", name)
+			}
+		})
+	}
+}
+
+func TestWriteStampsAndValidates(t *testing.T) {
+	r := sampleResult()
+	r.Schema = "" // Write must stamp it
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(buf.String(), Schema) {
+		t.Fatal("Write did not stamp the schema")
+	}
+	bad := sampleResult()
+	bad.Scenarios = nil
+	if err := Write(&buf, bad); err == nil {
+		t.Fatal("Write accepted an invalid artifact")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	r := sampleResult()
+	s, ok := r.Speedup("hold/pending=1000")
+	if !ok || s != 3.0 {
+		t.Fatalf("Speedup = %v, %v; want 3, true", s, ok)
+	}
+	if _, ok := r.Speedup("vcpu_ticks/vcpus=64"); ok {
+		t.Fatal("Speedup with a missing heap cell must report !ok")
+	}
+}
+
+// TestRunCoreSmoke runs the whole pipeline at smoke scale: both engines,
+// every scenario, artifact written and read back, wheel at least as fast as
+// measurement noise allows (no threshold: smoke runs are too short to gate
+// on throughput; the real gate is the recorded BENCH_core.json).
+func TestRunCoreSmoke(t *testing.T) {
+	res, err := RunCore(CoreConfig{BaseSeed: 42, Reps: 2, Smoke: true}, nil)
+	if err != nil {
+		t.Fatalf("RunCore: %v", err)
+	}
+	// 2 engines × (1 hold size + 1 macro) = 4 scenarios.
+	if len(res.Scenarios) != 4 {
+		t.Fatalf("scenarios = %d, want 4", len(res.Scenarios))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, res); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !back.Smoke || back.Reps != 2 {
+		t.Fatalf("artifact metadata lost: %+v", back)
+	}
+	if _, ok := back.Speedup("hold/pending=1000"); !ok {
+		t.Fatal("speedup cell missing from smoke artifact")
+	}
+	// Determinism of the derived seeds: same config, same scenario set.
+	res2, err := RunCore(CoreConfig{BaseSeed: 42, Reps: 2, Smoke: true}, nil)
+	if err != nil {
+		t.Fatalf("RunCore (2nd): %v", err)
+	}
+	for i := range res.Scenarios {
+		if res.Scenarios[i].Name != res2.Scenarios[i].Name ||
+			res.Scenarios[i].Engine != res2.Scenarios[i].Engine {
+			t.Fatalf("scenario matrix not deterministic: %+v vs %+v",
+				res.Scenarios[i], res2.Scenarios[i])
+		}
+	}
+}
+
+// jsonEncode mirrors Write's encoding without its validation, for building
+// deliberately broken artifacts.
+func jsonEncode(buf *bytes.Buffer, r Result) error {
+	return json.NewEncoder(buf).Encode(r)
+}
