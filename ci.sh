@@ -31,8 +31,8 @@ go build ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/..."
-go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/...
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/... ./internal/telemetry/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/... ./internal/telemetry/...
 
 # Engine differential suite under the race detector, explicitly and never
 # -short: the timing-wheel engine must match the retained heap engine
@@ -69,10 +69,22 @@ go test -run '^$' -bench 'BenchmarkEmit' -benchtime 1000x ./internal/vtrace/
 # Simulator-core benchmark smoke: the -bench core pipeline must run end to
 # end and emit a schema-valid artifact (the run re-reads what it wrote and
 # fails on schema mismatch). Throwaway output; the recorded baseline is
-# BENCH_core.json at the repo root.
-echo "== simbench pipeline smoke"
+# BENCH_core.json at the repo root. The self-diff of that artifact must then
+# report zero regressions and exit 0, which exercises the -bench diff gate.
+echo "== simbench pipeline + diff smoke"
 go build -o /tmp/vexp_ci ./cmd/experiments
 /tmp/vexp_ci -bench core -smoke -out /tmp/vexp_bench_smoke.json > /dev/null
-rm -f /tmp/vexp_ci /tmp/vexp_bench_smoke.json
+/tmp/vexp_ci -bench diff /tmp/vexp_bench_smoke.json /tmp/vexp_bench_smoke.json > /dev/null
+rm -f /tmp/vexp_bench_smoke.json
+
+# Telemetry byte-identity smoke: the fleetobs experiment panics internally if
+# its serial and parallel flight-recorder snapshots diverge; on top of that,
+# two full runs of the same seed (with -telemetry sparklines on stdout) must
+# be byte-identical.
+echo "== fleetobs telemetry determinism smoke"
+/tmp/vexp_ci -run fleetobs -scale 0.1 -seed 7 -telemetry > /tmp/vexp_fleetobs_a.txt
+/tmp/vexp_ci -run fleetobs -scale 0.1 -seed 7 -telemetry > /tmp/vexp_fleetobs_b.txt
+cmp /tmp/vexp_fleetobs_a.txt /tmp/vexp_fleetobs_b.txt
+rm -f /tmp/vexp_ci /tmp/vexp_fleetobs_a.txt /tmp/vexp_fleetobs_b.txt
 
 echo "CI OK"

@@ -13,6 +13,8 @@
 //	experiments -run all -out run.jsonl     # JSON-lines artifact with metadata
 //	experiments -bench core -reps 5         # engine benchmark -> BENCH_core.json
 //	experiments -bench core -smoke          # CI pipeline check, seconds not minutes
+//	experiments -bench diff old.json new.json  # compare artifacts, exit 1 on regression
+//	experiments -run fleetobs -telemetry    # append flight-recorder sparklines
 //
 // Reports go to stdout; timing and progress go to stderr, so stdout is a
 // pure function of (-run, -seed, -reps, -scale): a -parallel N run is
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -44,20 +47,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs   = fs.String("run", "", "experiment id (fig2..fig21, table2..table4), comma list, or 'all'")
-		list     = fs.Bool("list", false, "list experiment ids")
-		seed     = fs.Int64("seed", 42, "base simulation seed")
-		scale    = fs.Float64("scale", 1.0, "measurement window scale factor")
-		verbose  = fs.Bool("v", false, "verbose notes")
-		asJSON   = fs.Bool("json", false, "emit reports as JSON lines")
-		parallel = fs.Int("parallel", 1, "worker pool size (1 = serial reference path)")
-		reps     = fs.Int("reps", 1, "replicate seeds per experiment; >1 adds mean±stddev [min,max] cells")
-		timeout  = fs.Duration("timeout", 0, "per-trial wall-clock budget (0 = none)")
-		out      = fs.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
-		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		bench    = fs.String("bench", "", "run an engine benchmark family ('core') instead of experiments")
-		smoke    = fs.Bool("smoke", false, "with -bench: shrink scenarios to a CI-sized pipeline check")
+		runIDs    = fs.String("run", "", "experiment id (fig2..fig21, table2..table4), comma list, or 'all'")
+		list      = fs.Bool("list", false, "list experiment ids")
+		seed      = fs.Int64("seed", 42, "base simulation seed")
+		scale     = fs.Float64("scale", 1.0, "measurement window scale factor")
+		verbose   = fs.Bool("v", false, "verbose notes")
+		asJSON    = fs.Bool("json", false, "emit reports as JSON lines")
+		parallel  = fs.Int("parallel", 1, "worker pool size (1 = serial reference path)")
+		reps      = fs.Int("reps", 1, "replicate seeds per experiment; >1 adds mean±stddev [min,max] cells")
+		timeout   = fs.Duration("timeout", 0, "per-trial wall-clock budget (0 = none)")
+		out       = fs.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		bench     = fs.String("bench", "", "run an engine benchmark family ('core'), or 'diff <old.json> <new.json>'")
+		smoke     = fs.Bool("smoke", false, "with -bench: shrink scenarios to a CI-sized pipeline check")
+		threshold = fs.Float64("threshold", 0.10, "with -bench diff: regression threshold as a fraction (0.10 = 10% slower fails)")
+		telem     = fs.Bool("telemetry", false, "print flight-recorder sparkline summaries for experiments that record telemetry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	if *bench == "diff" {
+		return runBenchDiff(fs.Args(), *threshold, stdout, stderr)
+	}
 	if *bench != "" {
 		return runBench(*bench, *out, *seed, *reps, *smoke, stdout, stderr)
 	}
@@ -147,9 +155,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		fmt.Fprint(stdout, res.Text())
 	}
+	if *telem {
+		printTelemetry(stdout, res)
+	}
 	fmt.Fprintf(stderr, "(%d trials over %d workers: %d events in %v wall time, %d failed)\n",
 		res.Trials(), res.Workers, res.EventsFired(), res.WallTime.Round(time.Millisecond), res.Failed())
 	if res.Failed() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printTelemetry dumps each trial's deterministic flight-recorder summaries
+// (sparklines per series) in registry order. Snapshots contain only
+// sim-clock-driven series, so this block is as reproducible as the reports
+// above it.
+func printTelemetry(stdout io.Writer, res *harness.Result) {
+	for _, ex := range res.Experiments {
+		for i := range ex.Trials {
+			t := &ex.Trials[i]
+			if len(t.Telemetry) == 0 {
+				continue
+			}
+			labels := make([]string, 0, len(t.Telemetry))
+			for l := range t.Telemetry {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				fmt.Fprintf(stdout, "-- %s rep %d: %s --\n%s\n", t.ExperimentID, t.Replicate, l,
+					t.Telemetry[l].Summary())
+			}
+		}
+	}
+}
+
+// runBenchDiff compares two benchmark artifacts (e.g. a committed
+// BENCH_core.json baseline vs a fresh run) and exits non-zero when any cell's
+// mean slowed past the threshold, so CI can gate on engine regressions.
+func runBenchDiff(paths []string, threshold float64, stdout, stderr io.Writer) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(stderr, "usage: experiments -bench diff [-threshold 0.10] <old.json> <new.json>")
+		return 2
+	}
+	load := func(p string) (simbench.Result, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return simbench.Result{}, err
+		}
+		defer f.Close()
+		return simbench.Read(f)
+	}
+	old, err := load(paths[0])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cur, err := load(paths[1])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	d, err := simbench.Diff(old, cur, threshold)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	d.WriteText(stdout)
+	if d.Regressions() > 0 {
 		return 1
 	}
 	return 0

@@ -138,3 +138,68 @@ func TestBenchUnknownFamilyFails(t *testing.T) {
 		t.Fatalf("missing diagnostic: %s", errb.String())
 	}
 }
+
+// TestBenchDiff drives -bench diff end to end: a self-diff exits 0, a doctored
+// regression exits 1, and bad usage exits 2.
+func TestBenchDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", "core", "-smoke", "-out", base}, &out, &errb); code != 0 {
+		t.Fatalf("bench smoke failed: %s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bench", "diff", base, base}, &out, &errb); code != 0 {
+		t.Fatalf("self-diff exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Fatalf("self-diff output: %q", out.String())
+	}
+
+	// Doctor a 50% slowdown into a copy and require a non-zero exit.
+	f, err := os.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simbench.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Scenarios {
+		res.Scenarios[i].EventsPerSec.Mean *= 0.5
+	}
+	slow := filepath.Join(dir, "slow.json")
+	sf, err := os.Create(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simbench.Write(sf, res); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bench", "diff", base, slow}, &out, &errb); code != 1 {
+		t.Fatalf("regressed diff exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("regression not marked: %q", out.String())
+	}
+
+	// Reversed order is an improvement and passes.
+	out.Reset()
+	if code := run([]string{"-bench", "diff", slow, base}, &out, &errb); code != 0 {
+		t.Fatalf("improvement flagged as regression:\n%s", out.String())
+	}
+
+	if code := run([]string{"-bench", "diff", base}, &out, &errb); code != 2 {
+		t.Fatal("missing operand must exit 2")
+	}
+	if code := run([]string{"-bench", "diff", base, filepath.Join(dir, "nope.json")}, &out, &errb); code != 1 {
+		t.Fatal("unreadable artifact must exit 1")
+	}
+}

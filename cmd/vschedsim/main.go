@@ -23,6 +23,7 @@ import (
 	"vsched"
 	"vsched/internal/latprof"
 	"vsched/internal/profiling"
+	"vsched/internal/telemetry"
 	"vsched/internal/vtrace"
 )
 
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath    = fs.String("trace", "", "write a Chrome/Perfetto trace of the whole run to this file")
 		metricsOut   = fs.Bool("metrics", false, "print the VM metrics registry snapshot at the end")
 		attrib       = fs.Bool("attrib", false, "print a per-cause latency attribution of the measurement window (adds an attribution track to -trace)")
+		telem        = fs.Bool("telemetry", false, "sample a flight recorder over the run: sparkline summary at the end, counter tracks in -trace")
 		cpuProf      = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf      = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -160,6 +162,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The flight recorder samples the VM registry plus the engine's own
+	// event-queue census on the sim clock; wall-clock throughput rides along
+	// as volatile series that stay out of the deterministic summary.
+	var rec *telemetry.Recorder
+	if *telem {
+		rec = telemetry.New(cl.Engine(), telemetry.Config{})
+		rec.AddSource("", telemetry.RegistrySource(vm.Metrics()))
+		rec.AddSource("", &telemetry.SelfSource{Eng: cl.Engine(), Tracer: tracer})
+		rec.AddVolatileSource("", &telemetry.WallSource{Eng: cl.Engine()})
+		rec.Start()
+	}
+
 	inst := cl.Workload(vm, sched, *workloadName, *threads)
 	inst.Start()
 
@@ -232,6 +246,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "metrics:")
 		fmt.Fprint(stdout, vm.Metrics().Snapshot().String())
 	}
+	if rec != nil {
+		rec.Stop()
+		// Deterministic series to stdout (a pure function of flags + seed);
+		// wall-clock series to stderr with the other timing diagnostics.
+		fmt.Fprint(stdout, rec.Snapshot(false).Summary())
+		full := rec.Snapshot(true)
+		var vol telemetry.Snapshot
+		vol.IntervalNS, vol.Samples = full.IntervalNS, full.Samples
+		for _, s := range full.Series {
+			if s.Volatile {
+				vol.Series = append(vol.Series, s)
+			}
+		}
+		if len(vol.Series) > 0 {
+			fmt.Fprint(stderr, vol.Summary())
+		}
+	}
 	var extraTracks []vtrace.SpanTrack
 	if prof != nil {
 		p := prof.Finish(cl.Now())
@@ -243,7 +274,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		extraTracks = append(extraTracks, p.ChromeTrack())
 	}
 	if tracer != nil {
-		if err := writeTrace(*tracePath, tracer, extraTracks...); err != nil {
+		var counters []vtrace.CounterTrack
+		if rec != nil {
+			counters = rec.CounterTracks(true)
+		}
+		if err := writeTrace(*tracePath, tracer, extraTracks, counters); err != nil {
 			fmt.Fprintf(stderr, "writing trace: %v\n", err)
 			return 1
 		}
@@ -254,12 +289,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func writeTrace(path string, tr *vtrace.Tracer, extra ...vtrace.SpanTrack) error {
+func writeTrace(path string, tr *vtrace.Tracer, extra []vtrace.SpanTrack, counters []vtrace.CounterTrack) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteChrome(f, extra...); err != nil {
+	if err := tr.WriteChromeTracks(f, extra, counters); err != nil {
 		f.Close()
 		return err
 	}

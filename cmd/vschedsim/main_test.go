@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -182,5 +183,62 @@ func TestUnknownFlagFails(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Fatalf("error path wrote to stdout: %s", stdout.String())
+	}
+}
+
+// TestTelemetryFlag: -telemetry must print a deterministic sparkline summary
+// on stdout (byte-identical across reruns), keep wall-clock series off
+// stdout, and add counter tracks to the -trace file without breaking it.
+func TestTelemetryFlag(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	args := []string{
+		"-workload", "nginx", "-vcpus", "2", "-share", "0.5", "-vsched",
+		"-duration", "2s", "-warmup", "1s", "-seed", "7",
+		"-telemetry", "-trace", trace,
+	}
+	var out1, out2, errb bytes.Buffer
+	if code := run(args, &out1, &errb); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out1.String(), "telemetry:") {
+		t.Fatalf("no telemetry summary on stdout:\n%s", out1.String())
+	}
+	if !strings.Contains(out1.String(), "sched.ctxsw") && !strings.Contains(out1.String(), "sim.fired") {
+		t.Fatalf("expected sampled series in summary:\n%s", out1.String())
+	}
+	if strings.Contains(out1.String(), "self.events_per_sec") {
+		t.Fatal("volatile wall-clock series leaked onto stdout")
+	}
+	if !strings.Contains(errb.String(), "self.events_per_sec") {
+		t.Fatal("volatile series summary missing from stderr")
+	}
+
+	errb.Reset()
+	if code := run(args, &out2, &errb); code != 0 {
+		t.Fatalf("rerun exited %d: %s", code, errb.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("-telemetry stdout is not deterministic across reruns")
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace with counter tracks is not valid JSON: %v", err)
+	}
+	counters := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "C" {
+			counters++
+		}
+	}
+	if counters == 0 {
+		t.Fatal("trace has no counter events despite -telemetry")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"vsched/internal/host"
 	"vsched/internal/metrics"
 	"vsched/internal/sim"
+	"vsched/internal/telemetry"
 	"vsched/internal/workload"
 )
 
@@ -47,6 +48,14 @@ type Stats struct {
 	regSeen     map[string]int
 	attrib      []labeledAttribution
 	attribSeen  map[string]int
+	telem       []labeledTelemetry
+	telemSeen   map[string]int
+}
+
+// labeledTelemetry is one flight recorder under a run-unique label.
+type labeledTelemetry struct {
+	label string
+	rec   *telemetry.Recorder
 }
 
 // labeledAttribution is one flattened latency-attribution report under a
@@ -129,6 +138,47 @@ func (s *Stats) TrackAttribution(label string, flat map[string]float64) {
 		label = fmt.Sprintf("%s#%d", label, n+1)
 	}
 	s.attrib = append(s.attrib, labeledAttribution{label: label, flat: flat})
+}
+
+// TrackTelemetry records one flight recorder (see internal/telemetry) under
+// label, for the harness to embed its deterministic snapshot in the trial
+// artifact. Repeated labels get a deterministic #n suffix, like
+// TrackRegistry. A nil receiver or nil recorder is a no-op.
+func (s *Stats) TrackTelemetry(label string, rec *telemetry.Recorder) {
+	if s == nil || rec == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.telemSeen == nil {
+		s.telemSeen = make(map[string]int)
+	}
+	n := s.telemSeen[label]
+	s.telemSeen[label] = n + 1
+	if n > 0 {
+		label = fmt.Sprintf("%s#%d", label, n+1)
+	}
+	s.telem = append(s.telem, labeledTelemetry{label: label, rec: rec})
+}
+
+// TelemetrySnapshot exports every tracked recorder's deterministic snapshot
+// keyed by label (nil when nothing was tracked). Volatile series are
+// excluded so the result embeds in determinism-checked artifacts. Only call
+// after the run's goroutine has finished.
+func (s *Stats) TelemetrySnapshot() map[string]*telemetry.Snapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out map[string]*telemetry.Snapshot
+	for _, lt := range s.telem {
+		if out == nil {
+			out = make(map[string]*telemetry.Snapshot, len(s.telem))
+		}
+		out[lt.label] = lt.rec.Snapshot(false)
+	}
+	return out
 }
 
 // AttributionSnapshot merges every tracked attribution report into one
@@ -312,6 +362,7 @@ func Registry() []Runner {
 		{"probeacc", "Prober accuracy vs host ground truth", ProbeAccuracy},
 		{"fleet", "Fleet-scale placement: policy x guest on a 32-host cluster", FleetScale},
 		{"attrib", "Latency attribution: per-cause wall-time breakdown by config", Attrib},
+		{"fleetobs", "Telemetry flight recorder: determinism, memory bound, steal signal", FleetObs},
 	}
 }
 

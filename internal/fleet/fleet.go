@@ -28,6 +28,7 @@ import (
 	"vsched/internal/latprof"
 	"vsched/internal/metrics"
 	"vsched/internal/sim"
+	"vsched/internal/telemetry"
 	"vsched/internal/vtrace"
 	"vsched/internal/workload"
 )
@@ -70,6 +71,13 @@ type Config struct {
 	// Result.Attribution plus fleet.attrib.* gauges. Observation only: the
 	// simulation is byte-identical with it on or off.
 	Attribution bool
+	// Telemetry, when non-nil, attaches a flight recorder (see
+	// internal/telemetry) sampling the cell registry, per-host steal and
+	// utilization, per-VM-class population, and the simulator itself into
+	// compressed bounded-memory time series; Result.Telemetry carries the
+	// recorder after Run. Observation only, like Attribution: the simulation
+	// is byte-identical with it on or off.
+	Telemetry *telemetry.Config
 }
 
 // MigrationConfig tunes the live-migration controller: every Every it looks
@@ -112,6 +120,9 @@ type Result struct {
 	// events); steal *blame* names are approximate for VMs that live-migrated
 	// (see the routing note on hostState.attribVMs).
 	Attribution map[string]*latprof.Profile
+	// Telemetry is the cell's flight recorder when Config.Telemetry was set;
+	// nil otherwise.
+	Telemetry *telemetry.Recorder
 }
 
 // hostState is one host plus the fleet's bookkeeping about it. Occupancy is
@@ -167,6 +178,7 @@ type Fleet struct {
 
 	placed, rejected, departed, migrations int
 	reg                                    *metrics.Registry
+	rec                                    *telemetry.Recorder
 }
 
 // New builds the cluster. The engine is exposed before Run so callers
@@ -298,6 +310,10 @@ func (f *Fleet) Run() *Result {
 	f.eng.After(cfg.TelemetryEvery, f.telemetryTick)
 	if cfg.Migration.Every > 0 {
 		f.eng.After(cfg.Migration.Every, f.migrationTick)
+	}
+	if cfg.Telemetry != nil {
+		f.rec = f.attachTelemetry(*cfg.Telemetry, arr)
+		f.rec.Start()
 	}
 	f.eng.RunFor(cfg.Horizon)
 	return f.collect(arr)
@@ -432,6 +448,7 @@ func (f *Fleet) collect(arr []Arrival) *Result {
 		E2E:        f.reg.Histogram("fleet.e2e"),
 		Events:     f.eng.Fired(),
 		Registry:   f.reg,
+		Telemetry:  f.rec,
 	}
 	for _, vm := range f.vms {
 		r.Ops += vm.inst.Ops()

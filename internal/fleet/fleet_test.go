@@ -8,6 +8,7 @@ import (
 
 	"vsched/internal/host"
 	"vsched/internal/sim"
+	"vsched/internal/telemetry"
 )
 
 func testHostConfig() host.Config {
@@ -259,5 +260,51 @@ func TestNoSyntheticContenders(t *testing.T) {
 		if strings.Contains(string(src), "Contender") || strings.Contains(string(src), "NewStressor") {
 			t.Fatalf("%s references synthetic contenders; fleet contention must be organic", file)
 		}
+	}
+}
+
+// TestTelemetryObservationInert: attaching the flight recorder must not
+// perturb the simulation — every result field except the recorder itself is
+// identical with telemetry on and off, and a rerun with telemetry produces a
+// byte-identical deterministic snapshot.
+func TestTelemetryObservationInert(t *testing.T) {
+	withTelem := func() *Result {
+		cfg := testConfig(7, StealAware{}, true)
+		cfg.Telemetry = &telemetry.Config{Interval: 20 * sim.Millisecond}
+		return New(cfg).Run()
+	}
+	off := New(testConfig(7, StealAware{}, true)).Run()
+	on := withTelem()
+	if on.Telemetry == nil {
+		t.Fatal("telemetry config set but Result.Telemetry is nil")
+	}
+	if off.Telemetry != nil {
+		t.Fatal("telemetry not configured but Result.Telemetry is set")
+	}
+	// The recorder's sampling ticks are engine events, so Events grows; every
+	// simulation outcome must be untouched.
+	if on.Placed != off.Placed || on.Rejected != off.Rejected || on.Departed != off.Departed ||
+		on.Migrations != off.Migrations || on.Ops != off.Ops || on.Steal != off.Steal {
+		t.Fatalf("telemetry perturbed the run:\non  %+v\noff %+v", on, off)
+	}
+	if on.Events < off.Events {
+		t.Fatalf("telemetry run fired fewer events (%d) than baseline (%d)", on.Events, off.Events)
+	}
+	if on.E2E.Count() != off.E2E.Count() || on.E2E.P95() != off.E2E.P95() {
+		t.Fatal("telemetry perturbed the latency distribution")
+	}
+
+	snap := func(r *Result) string {
+		var b strings.Builder
+		if err := r.Telemetry.Snapshot(false).WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := snap(on), snap(withTelem()); a != b {
+		t.Fatalf("telemetry snapshot not reproducible across reruns (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(on.Telemetry.Series(false)) == 0 || on.Telemetry.Samples() == 0 {
+		t.Fatal("recorder attached but captured nothing")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"vsched/internal/experiments"
+	"vsched/internal/telemetry"
 )
 
 // Text renders the run deterministically: one report per experiment in
@@ -39,8 +40,11 @@ func (r *Result) Text() string {
 // fleet-shaped reports (the fleet experiment's per-cell rows and fleet.*
 // metrics namespaces); 3 adds the per-trial "attribution" map (flattened
 // latency-attribution profiles, keyed "<profile-label>.<metric>") and is
-// otherwise a strict superset of 2.
-const ArtifactSchemaVersion = 3
+// otherwise a strict superset of 2; 4 adds the per-trial "telemetry" map
+// (deterministic flight-recorder snapshots — Gorilla-compressed raw chunks
+// plus rollup buckets — keyed by recorder label) and is otherwise a strict
+// superset of 3.
+const ArtifactSchemaVersion = 4
 
 // Artifact line types. A run artifact is JSON lines: one "run" header with
 // the full configuration and seed set, one "trial" line per trial (with its
@@ -73,8 +77,11 @@ type TrialRecord struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 	// Attribution is the flattened latency-attribution snapshot of every
 	// profile the trial tracked (schema >= 3); absent in older artifacts.
-	Attribution map[string]float64  `json:"attribution,omitempty"`
-	Report      *experiments.Report `json:"report,omitempty"`
+	Attribution map[string]float64 `json:"attribution,omitempty"`
+	// Telemetry maps recorder label to the trial's deterministic
+	// flight-recorder snapshot (schema >= 4); absent in older artifacts.
+	Telemetry map[string]*telemetry.Snapshot `json:"telemetry,omitempty"`
+	Report    *experiments.Report            `json:"report,omitempty"`
 }
 
 type AggregateRecord struct {
@@ -128,6 +135,7 @@ func (r *Result) WriteArtifact(w io.Writer) error {
 				TimedOut:    t.TimedOut,
 				Metrics:     t.Metrics,
 				Attribution: t.Attribution,
+				Telemetry:   t.Telemetry,
 				Report:      t.Report,
 			}); err != nil {
 				return err
@@ -163,8 +171,9 @@ type Artifact struct {
 
 // ReadArtifact decodes a JSONL artifact produced by any schema version so
 // far. Version 1 predates the schema_version field and decodes with
-// SchemaVersion 1; version 2 lacks the attribution map (left nil); unknown
-// line types are skipped, so newer minor additions stay readable too.
+// SchemaVersion 1; version 2 lacks the attribution map (left nil); version 3
+// lacks the telemetry map (left nil); unknown line types are skipped, so
+// newer minor additions stay readable too.
 func ReadArtifact(r io.Reader) (*Artifact, error) {
 	a := &Artifact{}
 	sc := bufio.NewScanner(r)

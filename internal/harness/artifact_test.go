@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"vsched/internal/experiments"
+	"vsched/internal/sim"
+	"vsched/internal/telemetry"
 )
 
 // attribRunner is a synthetic runner that tracks an attribution snapshot, so
@@ -79,6 +81,13 @@ const v2Artifact = `{"type":"run","schema_version":2,"base_seed":42,"reps":1,"wo
 {"type":"summary","wall_ms":13.1,"events":1000,"trials":1,"failed":0}
 `
 
+// v3Artifact is a canned schema-3 artifact (attribution but no telemetry),
+// byte-for-byte in the shape WriteArtifact produced before the v4 bump.
+const v3Artifact = `{"type":"run","schema_version":3,"base_seed":42,"reps":1,"workers":4,"scale":1,"experiments":["attrib"],"seeds":[42]}
+{"type":"trial","experiment":"attrib","replicate":0,"seed":42,"wall_ms":9.1,"events":500,"engines":1,"attribution":{"p.steal_wait_share":0.5},"report":{"ID":"attrib","Title":"t","Header":["a"],"Rows":[["1"]]}}
+{"type":"summary","wall_ms":9.9,"events":500,"trials":1,"failed":0}
+`
+
 // v1Artifact predates the schema_version field entirely.
 const v1Artifact = `{"type":"run","base_seed":1,"reps":1,"workers":1,"scale":1,"experiments":["fig3"],"seeds":[1]}
 {"type":"trial","experiment":"fig3","replicate":0,"seed":1,"wall_ms":1,"events":10,"engines":1}
@@ -105,6 +114,19 @@ func TestReadArtifactBackwardCompat(t *testing.T) {
 	}
 	if a.Summary == nil || a.Summary.Trials != 1 {
 		t.Fatalf("v2 summary %+v", a.Summary)
+	}
+
+	a, err = ReadArtifact(strings.NewReader(v3Artifact))
+	if err != nil {
+		t.Fatalf("v3 artifact must stay readable: %v", err)
+	}
+	if a.Run.SchemaVersion != 3 {
+		t.Fatalf("v3 schema read as %d", a.Run.SchemaVersion)
+	}
+	if tr := a.Trials[0]; tr.Telemetry != nil {
+		t.Fatalf("v3 trial must decode with nil telemetry, got %v", tr.Telemetry)
+	} else if tr.Attribution["p.steal_wait_share"] != 0.5 {
+		t.Fatalf("v3 attribution lost: %+v", tr)
 	}
 
 	a, err = ReadArtifact(strings.NewReader(v1Artifact))
@@ -164,5 +186,77 @@ func TestHarnessAttributionFlows(t *testing.T) {
 	}
 	if got := a.Trials[0].Attribution[want]; got != tr.Attribution[want] {
 		t.Fatalf("artifact attribution %v != trial %v", got, tr.Attribution[want])
+	}
+}
+
+// telemetryRunner is a synthetic runner that drives a small flight recorder,
+// so the artifact round-trip exercises the schema-4 trial field.
+func telemetryRunner(id string) experiments.Runner {
+	r := synthetic(id)
+	inner := r.Run
+	r.Run = func(o experiments.Options) *experiments.Report {
+		eng := sim.NewEngine(o.Seed)
+		o.Stats.Track(eng)
+		rec := telemetry.New(eng, telemetry.Config{Interval: 10 * sim.Millisecond})
+		n := 0.0
+		rec.AddSource(id+".", telemetry.SourceFunc(func(now sim.Time, emit func(string, float64)) {
+			n++
+			emit("ticks", n)
+		}))
+		rec.Start()
+		eng.RunFor(sim.Second)
+		o.Stats.TrackTelemetry(id+"/rec", rec)
+		return inner(o)
+	}
+	return r
+}
+
+// TestArtifactTelemetryRoundTrip: the schema-4 telemetry map must survive a
+// write/read cycle with raw points decodable from the embedded snapshot.
+func TestArtifactTelemetryRoundTrip(t *testing.T) {
+	res := Run(Config{
+		Runners:  []experiments.Runner{telemetryRunner("synT"), synthetic("synB")},
+		BaseSeed: 9, Workers: 2,
+	})
+	var buf bytes.Buffer
+	if err := res.WriteArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Run.SchemaVersion != 4 {
+		t.Fatalf("schema %d want 4", a.Run.SchemaVersion)
+	}
+	for _, tr := range a.Trials {
+		switch tr.Experiment {
+		case "synT":
+			snap := tr.Telemetry["synT/rec"]
+			if snap == nil {
+				t.Fatalf("telemetry snapshot lost: %v", tr.Telemetry)
+			}
+			var ticks *telemetry.SeriesSnapshot
+			for i := range snap.Series {
+				if snap.Series[i].Name == "synT.ticks" {
+					ticks = &snap.Series[i]
+				}
+			}
+			if ticks == nil || ticks.Count == 0 {
+				t.Fatalf("synT.ticks series missing from artifact snapshot")
+			}
+			pts, err := ticks.Points()
+			if err != nil {
+				t.Fatalf("embedded raw chunk undecodable: %v", err)
+			}
+			if len(pts) == 0 || pts[len(pts)-1].V != float64(ticks.Count) {
+				t.Fatalf("decoded points inconsistent: %d pts, last %+v, count %d",
+					len(pts), pts[len(pts)-1], ticks.Count)
+			}
+		case "synB":
+			if tr.Telemetry != nil {
+				t.Fatalf("synB tracked no telemetry, got %v", tr.Telemetry)
+			}
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"vsched/internal/experiments"
+	"vsched/internal/telemetry"
 )
 
 // Config parameterises a harness run.
@@ -102,6 +103,10 @@ type TrialResult struct {
 	// profile the trial tracked (experiments that run latprof), keyed
 	// "<profile-label>.<metric>"; nil when the trial tracked none.
 	Attribution map[string]float64
+	// Telemetry holds the deterministic flight-recorder snapshot of every
+	// telemetry recorder the trial tracked, keyed by recorder label; nil when
+	// the trial tracked none.
+	Telemetry map[string]*telemetry.Snapshot
 }
 
 // OK reports whether the trial produced a report.
@@ -273,6 +278,7 @@ func runTrial(slot *TrialResult, r experiments.Runner, cfg Config) {
 		slot.Engines = stats.Engines()
 		slot.Metrics = stats.MetricsSnapshot()
 		slot.Attribution = stats.AttributionSnapshot()
+		slot.Telemetry = stats.TelemetrySnapshot()
 		slot.TimedOut = timedOut
 		switch {
 		case timedOut:

@@ -17,6 +17,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// histKeys caches each histogram's flattened sub-key strings
+	// (name.count, name.mean, ...) so VisitNumeric never concatenates on
+	// the steady-state path.
+	histKeys map[string]histKeySet
 }
 
 // NewRegistry returns an empty registry.
@@ -138,6 +142,52 @@ func (s Snapshot) String() string {
 		}
 	}
 	return b.String()
+}
+
+// histKeySet is the cached flattened sub-key strings for one histogram.
+type histKeySet struct {
+	count, mean, p50, p95, p99, max string
+}
+
+// VisitNumeric calls fn once per numeric reading of every instrument:
+// counters and gauges under their own names, histograms expanded into the
+// same name.count/mean/p50/p95/p99/max sub-keys as Flatten. Visit order is
+// unspecified (map order); callers needing stable order should use Snapshot.
+//
+// This is the sampling fast path: unlike Snapshot/Flatten it builds no
+// slices or maps, and the histogram sub-key strings are cached after the
+// first visit, so a steady-state visit performs zero allocations — the
+// property the telemetry recorder's per-sample cost rests on.
+func (r *Registry) VisitNumeric(fn func(name string, v float64)) {
+	for name, c := range r.counters {
+		fn(name, float64(c.Value()))
+	}
+	for name, g := range r.gauges {
+		fn(name, g.Value())
+	}
+	for name, h := range r.hists {
+		k, ok := r.histKeys[name]
+		if !ok {
+			if r.histKeys == nil {
+				r.histKeys = make(map[string]histKeySet)
+			}
+			k = histKeySet{
+				count: name + ".count",
+				mean:  name + ".mean",
+				p50:   name + ".p50",
+				p95:   name + ".p95",
+				p99:   name + ".p99",
+				max:   name + ".max",
+			}
+			r.histKeys[name] = k
+		}
+		fn(k.count, float64(h.Count()))
+		fn(k.mean, h.Mean())
+		fn(k.p50, float64(h.P50()))
+		fn(k.p95, float64(h.P95()))
+		fn(k.p99, float64(h.P99()))
+		fn(k.max, float64(h.Max()))
+	}
 }
 
 // Flatten converts the snapshot to a flat name->value map, expanding

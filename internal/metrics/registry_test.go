@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -111,5 +112,63 @@ func TestGauge(t *testing.T) {
 	g.Add(-1.5)
 	if g.Value() != 2.5 {
 		t.Fatalf("gauge=%v want 2.5", g.Value())
+	}
+}
+
+func TestVisitNumericMatchesFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(2.5)
+	h := r.Histogram("lat")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	want := r.Snapshot().Flatten()
+	got := map[string]float64{}
+	r.VisitNumeric(func(name string, v float64) { got[name] = v })
+	if len(got) != len(want) {
+		t.Fatalf("visit saw %d readings, flatten has %d", len(got), len(want))
+	}
+	for k, wv := range want {
+		if got[k] != wv {
+			t.Fatalf("%s: visit=%v flatten=%v", k, got[k], wv)
+		}
+	}
+}
+
+// visitSink keeps the closure from being optimized away in the alloc test.
+var visitSink float64
+
+// TestVisitNumericAllocBudget pins the sampling fast path at zero
+// allocations per steady-state visit (mirroring the engine's
+// TestScheduleFireAllocBudget): after the first visit caches the histogram
+// sub-key strings, a full pass over the registry must not allocate at all.
+func TestVisitNumericAllocBudget(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"a", "b", "c"} {
+		r.Counter("ctr." + n).Add(3)
+		r.Gauge("g." + n).Set(1.5)
+		r.Histogram("h." + n).Observe(100)
+	}
+	visit := func() {
+		r.VisitNumeric(func(name string, v float64) { visitSink += v })
+	}
+	visit() // warm: builds the histogram sub-key cache
+	if avg := testing.AllocsPerRun(1000, visit); avg != 0 {
+		t.Fatalf("steady-state VisitNumeric: %v allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkVisitNumeric(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		r.Counter(fmt.Sprintf("ctr.%d", i)).Add(uint64(i))
+		r.Gauge(fmt.Sprintf("g.%d", i)).Set(float64(i))
+		r.Histogram(fmt.Sprintf("h.%d", i)).Observe(int64(i * 1000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.VisitNumeric(func(name string, v float64) { visitSink += v })
 	}
 }

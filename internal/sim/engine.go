@@ -189,6 +189,46 @@ func (e *Engine) Fired() uint64 { return e.nfired }
 // that have not yet been collected from the wheel are not counted.
 func (e *Engine) Pending() int { return e.live }
 
+// WheelStats is a point-in-time census of the event queue, for
+// self-observability: where pending events sit (wheel levels, overflow heap,
+// ready heap), how many slots are occupied, and how deep the node pool runs.
+// It is a pure function of simulation state, so sampling it is deterministic.
+type WheelStats struct {
+	// Pending mirrors Engine.Pending: scheduled, neither fired nor cancelled.
+	Pending int
+	// WheelResident counts nodes parked in wheel slots, including
+	// lazily-cancelled ones not yet collected.
+	WheelResident int
+	// Levels breaks WheelResident down per wheel level.
+	Levels [wheelLevels]int
+	// OccupiedSlots counts wheel slots holding at least one node.
+	OccupiedSlots int
+	// Overflow is the depth of the beyond-horizon heap.
+	Overflow int
+	// Ready is the depth of the due-now ordering heap.
+	Ready int
+	// FreeNodes is the size of the node recycling pool.
+	FreeNodes int
+}
+
+// WheelStats returns the event queue census at this instant.
+func (e *Engine) WheelStats() WheelStats {
+	s := WheelStats{
+		Pending:       e.live,
+		WheelResident: e.wheelCount,
+		Levels:        e.levelCount,
+		Overflow:      len(e.overflow),
+		Ready:         len(e.ready),
+		FreeNodes:     len(e.free),
+	}
+	for l := 0; l < wheelLevels; l++ {
+		for _, w := range e.bitmap[l] {
+			s.OccupiedSlots += bits.OnesCount64(w)
+		}
+	}
+	return s
+}
+
 // Interrupt asks the engine to stop executing events: every subsequent Step,
 // Run, RunFor, or Drain call returns without firing anything. It is the only
 // Engine method safe to call from another goroutine — the harness uses it to

@@ -1,0 +1,122 @@
+package simbench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ScenarioDelta compares one (scenario, engine, metric) cell between two
+// benchmark artifacts.
+type ScenarioDelta struct {
+	Name   string     `json:"name"`
+	Engine EngineKind `json:"engine"`
+	Metric string     `json:"metric"` // "events_per_sec" or "vcpu_sec_per_sec"
+	Old    Stat       `json:"old"`
+	New    Stat       `json:"new"`
+	// DeltaPct is (new-old)/old in percent; positive is faster.
+	DeltaPct float64 `json:"delta_pct"`
+	// Regressed marks cells whose mean dropped by more than the threshold.
+	Regressed bool `json:"regressed,omitempty"`
+}
+
+// DiffResult is the comparison of two benchmark artifacts.
+type DiffResult struct {
+	Threshold float64         `json:"threshold"`
+	Deltas    []ScenarioDelta `json:"deltas"`
+	// Unmatched lists "name/engine" cells present in only one artifact;
+	// they are reported but never counted as regressions.
+	Unmatched []string `json:"unmatched,omitempty"`
+}
+
+// Regressions counts cells that dropped past the threshold.
+func (d DiffResult) Regressions() int {
+	n := 0
+	for _, s := range d.Deltas {
+		if s.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff compares two benchmark artifacts cell by cell. A cell regresses when
+// its new mean falls below old*(1-threshold); threshold 0.10 means "flag
+// anything more than 10% slower". Both artifacts must be the same benchmark
+// family.
+func Diff(old, cur Result, threshold float64) (DiffResult, error) {
+	if old.Name != cur.Name {
+		return DiffResult{}, fmt.Errorf("simbench: diffing different benchmark families %q vs %q", old.Name, cur.Name)
+	}
+	if threshold < 0 {
+		return DiffResult{}, fmt.Errorf("simbench: negative regression threshold %v", threshold)
+	}
+	key := func(s ScenarioResult) string { return s.Name + "/" + string(s.Engine) }
+	oldBy := make(map[string]ScenarioResult, len(old.Scenarios))
+	for _, s := range old.Scenarios {
+		oldBy[key(s)] = s
+	}
+	d := DiffResult{Threshold: threshold}
+	matched := make(map[string]bool)
+	for _, ns := range cur.Scenarios {
+		k := key(ns)
+		os, ok := oldBy[k]
+		if !ok {
+			d.Unmatched = append(d.Unmatched, k+" (new only)")
+			continue
+		}
+		matched[k] = true
+		add := func(metric string, o, n Stat) {
+			if o.N == 0 || n.N == 0 || o.Mean == 0 {
+				return
+			}
+			delta := (n.Mean - o.Mean) / o.Mean * 100
+			d.Deltas = append(d.Deltas, ScenarioDelta{
+				Name: ns.Name, Engine: ns.Engine, Metric: metric,
+				Old: o, New: n, DeltaPct: delta,
+				Regressed: n.Mean < o.Mean*(1-threshold),
+			})
+		}
+		add("events_per_sec", os.EventsPerSec, ns.EventsPerSec)
+		add("vcpu_sec_per_sec", os.VCPUSecPerSec, ns.VCPUSecPerSec)
+	}
+	for k := range oldBy {
+		if !matched[k] {
+			d.Unmatched = append(d.Unmatched, k+" (old only)")
+		}
+	}
+	sort.Strings(d.Unmatched)
+	return d, nil
+}
+
+// WriteText renders the diff as an aligned table, one row per cell, with
+// regressions marked. Output is deterministic: rows keep artifact order,
+// unmatched cells are sorted.
+func (d DiffResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %-6s %-17s %12s %12s %8s\n",
+		"scenario", "engine", "metric", "old mean", "new mean", "delta")
+	for _, s := range d.Deltas {
+		mark := ""
+		if s.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-28s %-6s %-17s %12.4g %12.4g %+7.1f%%  (±%.1f%% / ±%.1f%%)%s\n",
+			s.Name, s.Engine, s.Metric, s.Old.Mean, s.New.Mean, s.DeltaPct,
+			relStddev(s.Old), relStddev(s.New), mark)
+	}
+	for _, u := range d.Unmatched {
+		fmt.Fprintf(w, "unmatched: %s\n", u)
+	}
+	if n := d.Regressions(); n > 0 {
+		fmt.Fprintf(w, "%d cell(s) regressed past %.0f%%\n", n, d.Threshold*100)
+	} else {
+		fmt.Fprintf(w, "no regression past %.0f%%\n", d.Threshold*100)
+	}
+}
+
+func relStddev(s Stat) float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Stddev / s.Mean * 100
+}

@@ -155,3 +155,69 @@ func TestRunCoreSmoke(t *testing.T) {
 func jsonEncode(buf *bytes.Buffer, r Result) error {
 	return json.NewEncoder(buf).Encode(r)
 }
+
+func TestDiff(t *testing.T) {
+	old := sampleResult()
+	cur := sampleResult()
+	// Wheel hold cell slows by 20%, macro vCPU throughput improves.
+	cur.Scenarios[1].EventsPerSec.Mean = 2.4e6
+	cur.Scenarios[2].VCPUSecPerSec.Mean = 600
+	// A scenario only the new artifact has.
+	cur.Scenarios = append(cur.Scenarios, ScenarioResult{
+		Name: "hold/pending=9", Engine: Wheel,
+		EventsPerSec: Stat{Mean: 1, N: 1},
+	})
+
+	d, err := Diff(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions() != 1 {
+		t.Fatalf("want 1 regression, got %d: %+v", d.Regressions(), d.Deltas)
+	}
+	byKey := map[string]ScenarioDelta{}
+	for _, s := range d.Deltas {
+		byKey[s.Name+"/"+string(s.Engine)+"/"+s.Metric] = s
+	}
+	reg := byKey["hold/pending=1000/wheel/events_per_sec"]
+	if !reg.Regressed || reg.DeltaPct > -19.9 || reg.DeltaPct < -20.1 {
+		t.Fatalf("wheel hold cell: %+v", reg)
+	}
+	if faster := byKey["vcpu_ticks/vcpus=64/wheel/vcpu_sec_per_sec"]; faster.Regressed || faster.DeltaPct < 19 {
+		t.Fatalf("improved cell misflagged: %+v", faster)
+	}
+	if len(d.Unmatched) != 1 || !strings.Contains(d.Unmatched[0], "new only") {
+		t.Fatalf("unmatched: %v", d.Unmatched)
+	}
+
+	// Below threshold: the same drop with a looser gate passes.
+	d, err = Diff(old, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions() != 0 {
+		t.Fatalf("25%% gate should pass a 20%% drop: %+v", d.Deltas)
+	}
+
+	// Self-diff is always clean.
+	d, err = Diff(old, old, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions() != 0 || len(d.Unmatched) != 0 {
+		t.Fatalf("self-diff not clean: %+v", d)
+	}
+
+	var buf bytes.Buffer
+	d.WriteText(&buf)
+	if !strings.Contains(buf.String(), "no regression past 0%") {
+		t.Fatalf("WriteText summary: %q", buf.String())
+	}
+
+	if _, err := Diff(old, Result{Name: "other", Reps: 1}, 0.1); err == nil {
+		t.Fatal("family mismatch must error")
+	}
+	if _, err := Diff(old, cur, -1); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+}

@@ -1,0 +1,307 @@
+// Gorilla-style time-series compression: delta-of-delta timestamps plus
+// XOR-encoded float64 values, after Pelkonen et al., "Gorilla: A Fast,
+// Scalable, In-Memory Time Series Database" (VLDB 2015).
+//
+// The sampler produces points at a (mostly) fixed period of virtual
+// nanoseconds, so the second-order timestamp delta is almost always zero and
+// costs one bit; values are probe readings and counters that move slowly, so
+// successive float64 bit patterns share long runs of leading/trailing bits
+// and the XOR residue is short. A steady counter series compresses to well
+// under two bytes per point against 16 raw.
+//
+// The encoding is bit-exact: every float64 round-trips with its full bit
+// pattern, including NaN payloads, infinities and signed zero (the fuzzer
+// checks this), and encoding is a pure function of the input points — the
+// property the serial-vs-parallel byte-identity gates rely on.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Point is one decoded sample: virtual-time nanoseconds and a value.
+type Point struct {
+	T int64
+	V float64
+}
+
+// bitWriter appends bit strings to a byte buffer, MSB first.
+type bitWriter struct {
+	buf   []byte
+	cur   byte  // partial byte under construction
+	nbits uint8 // bits filled in cur (0..7)
+}
+
+// writeBits appends the low n bits of v, MSB first. n may be 0..64.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		free := uint(8 - w.nbits)
+		take := n
+		if take > free {
+			take = free
+		}
+		// Bits [n-1 .. n-take] of v land in the next free slots of cur.
+		chunk := byte(v>>(n-take)) & (1<<take - 1)
+		w.cur |= chunk << (free - take)
+		w.nbits += uint8(take)
+		n -= take
+		if w.nbits == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nbits = 0, 0
+		}
+	}
+}
+
+// writeBit appends a single bit.
+func (w *bitWriter) writeBit(b uint64) { w.writeBits(b, 1) }
+
+// bytes returns the encoded stream including the partial trailing byte,
+// without disturbing the writer — the open chunk can keep appending after a
+// snapshot.
+func (w *bitWriter) bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.nbits > 0 {
+		out = append(out, w.cur)
+	}
+	return out
+}
+
+// size returns the current encoded size in bytes (partial byte included).
+func (w *bitWriter) size() int {
+	n := len(w.buf)
+	if w.nbits > 0 {
+		n++
+	}
+	return n
+}
+
+// bitReader consumes bit strings written by bitWriter.
+type bitReader struct {
+	buf []byte
+	pos int   // next byte
+	cur byte  // current byte being consumed
+	rem uint8 // bits remaining in cur
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.rem == 0 {
+			if r.pos >= len(r.buf) {
+				return 0, fmt.Errorf("telemetry: bit stream truncated")
+			}
+			r.cur = r.buf[r.pos]
+			r.pos++
+			r.rem = 8
+		}
+		take := n
+		if take > uint(r.rem) {
+			take = uint(r.rem)
+		}
+		chunk := (r.cur >> (uint(r.rem) - take)) & (1<<take - 1)
+		v = v<<take | uint64(chunk)
+		r.rem -= uint8(take)
+		n -= take
+	}
+	return v, nil
+}
+
+func (r *bitReader) readBit() (uint64, error) { return r.readBits(1) }
+
+// Timestamp delta-of-delta buckets: a control prefix selects the width, the
+// payload stores dod-lo as an unsigned offset. Virtual-time deltas are
+// nanoseconds, so the buckets are wider than Gorilla's wall-second ones.
+var dodBuckets = []struct {
+	prefix     uint64 // control bits, e.g. 0b10
+	prefixBits uint
+	valueBits  uint
+	lo, hi     int64
+}{
+	{0b10, 2, 7, -63, 64},
+	{0b110, 3, 14, -8191, 8192},
+	{0b1110, 4, 24, -(1 << 23) + 1, 1 << 23},
+}
+
+// gorillaEnc is the streaming encoder for one chunk. The zero value is an
+// empty chunk ready for its first append.
+type gorillaEnc struct {
+	w      bitWriter
+	n      int    // points encoded
+	t      int64  // last timestamp
+	tDelta int64  // last timestamp delta
+	v      uint64 // last value bits
+	lead   uint8  // leading zeros of the last XOR window
+	sig    uint8  // significant bits of the last XOR window
+}
+
+// append encodes one (t, v) point. Timestamps must be non-decreasing; the
+// Series layer enforces that before calling.
+func (e *gorillaEnc) append(t int64, v float64) {
+	vb := math.Float64bits(v)
+	if e.n == 0 {
+		e.w.writeBits(uint64(t), 64)
+		e.w.writeBits(vb, 64)
+		e.t, e.v = t, vb
+		e.n = 1
+		// lead=255 marks "no previous XOR window" for the value stream.
+		e.lead = 255
+		return
+	}
+	// Timestamp: delta-of-delta against the previous delta.
+	delta := t - e.t
+	dod := delta - e.tDelta
+	e.t, e.tDelta = t, delta
+	switch {
+	case dod == 0:
+		e.w.writeBit(0)
+	default:
+		encoded := false
+		for _, b := range dodBuckets {
+			if dod >= b.lo && dod <= b.hi {
+				e.w.writeBits(b.prefix, b.prefixBits)
+				e.w.writeBits(uint64(dod-b.lo), b.valueBits)
+				encoded = true
+				break
+			}
+		}
+		if !encoded {
+			e.w.writeBits(0b1111, 4)
+			e.w.writeBits(uint64(dod), 64)
+		}
+	}
+	// Value: XOR against the previous value.
+	xor := vb ^ e.v
+	e.v = vb
+	if xor == 0 {
+		e.w.writeBit(0)
+		e.n++
+		return
+	}
+	e.w.writeBit(1)
+	lead := uint8(bits.LeadingZeros64(xor))
+	if lead > 31 {
+		lead = 31 // cap so it fits the 5-bit field; only pads the window
+	}
+	trail := uint8(bits.TrailingZeros64(xor))
+	sig := 64 - lead - trail
+	if e.lead != 255 && lead >= e.lead && 64-uint8(e.lead)-uint8(e.sig) <= trail {
+		// The new residue fits the previous window: reuse it, pay no header.
+		e.w.writeBit(0)
+		prevTrail := 64 - e.lead - e.sig
+		e.w.writeBits(xor>>prevTrail, uint(e.sig))
+	} else {
+		e.w.writeBit(1)
+		e.w.writeBits(uint64(lead), 5)
+		// sig is 1..64; store sig-1 in 6 bits.
+		e.w.writeBits(uint64(sig-1), 6)
+		e.w.writeBits(xor>>trail, uint(sig))
+		e.lead, e.sig = lead, sig
+	}
+	e.n++
+}
+
+// bytes returns the chunk's encoded form so far (snapshot-safe).
+func (e *gorillaEnc) bytes() []byte { return e.w.bytes() }
+
+// size returns the chunk's current encoded size in bytes.
+func (e *gorillaEnc) size() int { return e.w.size() }
+
+// reset returns the encoder to the empty state, keeping the buffer's backing
+// array so a recycled chunk does not reallocate.
+func (e *gorillaEnc) reset() {
+	e.w.buf = e.w.buf[:0]
+	e.w.cur, e.w.nbits = 0, 0
+	*e = gorillaEnc{w: e.w}
+}
+
+// decodeGorilla decodes n points from a chunk produced by gorillaEnc,
+// appending them to dst (which may be nil).
+func decodeGorilla(dst []Point, data []byte, n int) ([]Point, error) {
+	if n == 0 {
+		return dst, nil
+	}
+	r := newBitReader(data)
+	tb, err := r.readBits(64)
+	if err != nil {
+		return dst, err
+	}
+	vb, err := r.readBits(64)
+	if err != nil {
+		return dst, err
+	}
+	t, v := int64(tb), vb
+	dst = append(dst, Point{T: t, V: math.Float64frombits(v)})
+	var tDelta int64
+	var lead, sig uint8
+	lead = 255
+	for i := 1; i < n; i++ {
+		// Timestamp control prefix: count leading 1s (max 4).
+		ones := 0
+		for ones < 4 {
+			b, err := r.readBit()
+			if err != nil {
+				return dst, err
+			}
+			if b == 0 {
+				break
+			}
+			ones++
+		}
+		var dod int64
+		switch ones {
+		case 0:
+			dod = 0
+		case 4:
+			raw, err := r.readBits(64)
+			if err != nil {
+				return dst, err
+			}
+			dod = int64(raw)
+		default:
+			b := dodBuckets[ones-1]
+			raw, err := r.readBits(b.valueBits)
+			if err != nil {
+				return dst, err
+			}
+			dod = int64(raw) + b.lo
+		}
+		tDelta += dod
+		t += tDelta
+		// Value.
+		bit, err := r.readBit()
+		if err != nil {
+			return dst, err
+		}
+		if bit == 1 {
+			ctl, err := r.readBit()
+			if err != nil {
+				return dst, err
+			}
+			if ctl == 1 {
+				l, err := r.readBits(5)
+				if err != nil {
+					return dst, err
+				}
+				s, err := r.readBits(6)
+				if err != nil {
+					return dst, err
+				}
+				lead, sig = uint8(l), uint8(s)+1
+			} else if lead == 255 {
+				return dst, fmt.Errorf("telemetry: XOR window reuse before any window was set")
+			}
+			mid, err := r.readBits(uint(sig))
+			if err != nil {
+				return dst, err
+			}
+			v ^= mid << (64 - lead - sig)
+		}
+		dst = append(dst, Point{T: t, V: math.Float64frombits(v)})
+	}
+	return dst, nil
+}

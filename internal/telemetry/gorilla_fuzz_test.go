@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzGorillaRoundTrip feeds arbitrary point streams through the encoder and
+// decoder and demands a bit-exact round trip. The corpus seeds cover the
+// encoder's special paths: constant values (XOR == 0), monotonic ramps
+// (window reuse), NaN payloads and infinities (full 64-bit residues), and
+// dod values pushed out of every bucket (raw 64-bit fallback).
+func FuzzGorillaRoundTrip(f *testing.F) {
+	seed := func(pts ...Point) []byte {
+		var out []byte
+		var tmp [8]byte
+		for _, p := range pts {
+			binary.LittleEndian.PutUint64(tmp[:], uint64(p.T))
+			out = append(out, tmp[:]...)
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(p.V))
+			out = append(out, tmp[:]...)
+		}
+		return out
+	}
+	f.Add(seed(Point{0, 1}, Point{100, 1}, Point{200, 1}))          // constant
+	f.Add(seed(Point{0, 0}, Point{1, 1}, Point{2, 2}, Point{3, 3})) // monotonic
+	f.Add(seed(Point{0, math.NaN()}, Point{1, math.Inf(1)}, Point{2, math.Inf(-1)}))
+	f.Add(seed(Point{0, 1}, Point{1 << 40, 2}, Point{1<<40 + 1, 3})) // dod fallback
+	f.Add(seed(Point{0, math.Float64frombits(0x7ff8000000001234)}))  // NaN payload
+	f.Add([]byte{1, 2, 3})                                           // ragged tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each 16-byte window is one point; timestamp deltas are made
+		// non-negative so the stream is valid by construction.
+		var pts []Point
+		last := int64(0)
+		for len(data) >= 16 {
+			d := int64(binary.LittleEndian.Uint64(data[:8]))
+			if d < 0 {
+				d = -d
+			}
+			if d < 0 { // math.MinInt64
+				d = 0
+			}
+			// Keep timestamps from overflowing int64 over many points.
+			last += d % (1 << 48)
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+			pts = append(pts, Point{T: last, V: v})
+			data = data[16:]
+		}
+		var e gorillaEnc
+		for _, p := range pts {
+			e.append(p.T, p.V)
+		}
+		got, err := decodeGorilla(nil, e.bytes(), e.n)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("decoded %d points, want %d", len(got), len(pts))
+		}
+		for i := range pts {
+			if got[i].T != pts[i].T {
+				t.Fatalf("point %d: t=%d want %d", i, got[i].T, pts[i].T)
+			}
+			if math.Float64bits(got[i].V) != math.Float64bits(pts[i].V) {
+				t.Fatalf("point %d: v bits %x want %x", i,
+					math.Float64bits(got[i].V), math.Float64bits(pts[i].V))
+			}
+		}
+	})
+}

@@ -2,8 +2,11 @@ package vtrace
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 
 	"vsched/internal/host"
@@ -72,6 +75,28 @@ type SpanArg struct {
 	Value int64
 }
 
+// CounterTrack is a caller-supplied counter process appended to a Chrome
+// export: Perfetto "C" (counter) events derived from data outside the event
+// ring — telemetry series samples, profiler aggregates — sharing the exact
+// formatting the event-derived counter tracks use. Points are emitted in
+// caller order, so exports stay byte-deterministic.
+type CounterTrack struct {
+	Process string
+	Series  []CounterSeries
+}
+
+// CounterSeries is one named counter inside a CounterTrack.
+type CounterSeries struct {
+	Name   string
+	Points []CounterPoint
+}
+
+// CounterPoint is one sample on a CounterSeries.
+type CounterPoint struct {
+	At    sim.Time
+	Value float64
+}
+
 // exporter accumulates interval state while streaming JSON lines.
 type exporter struct {
 	w    *bufio.Writer
@@ -104,6 +129,13 @@ type openSlice struct {
 // tracer's emitted/dropped totals so a consumer can tell whether ring
 // wrap-around lost events.
 func (tr *Tracer) WriteChrome(w io.Writer, extra ...SpanTrack) error {
+	return tr.WriteChromeTracks(w, extra, nil)
+}
+
+// WriteChromeTracks is WriteChrome with counter tracks too: spans become
+// slice processes, counters become Perfetto counter processes after them.
+// With no counters it produces byte-identical output to WriteChrome.
+func (tr *Tracer) WriteChromeTracks(w io.Writer, spans []SpanTrack, counters []CounterTrack) error {
 	e := &exporter{
 		w:         bufio.NewWriter(w),
 		tr:        tr,
@@ -113,10 +145,10 @@ func (tr *Tracer) WriteChrome(w io.Writer, extra ...SpanTrack) error {
 		guestTIDs: map[int]bool{},
 		openTask:  map[int]openSlice{},
 	}
-	return e.run(extra)
+	return e.run(spans, counters)
 }
 
-func (e *exporter) run(extra []SpanTrack) error {
+func (e *exporter) run(extra []SpanTrack, counters []CounterTrack) error {
 	io.WriteString(e.w, "{\"traceEvents\":[\n")
 	e.meta(pidHost, -1, "process_name", "host")
 	e.meta(pidGuest, -1, "process_name", "guest")
@@ -134,6 +166,12 @@ func (e *exporter) run(extra []SpanTrack) error {
 	e.flushOpen()
 	for i := range extra {
 		e.spanTrack(pidExtra+i, &extra[i])
+		if e.err != nil {
+			return e.err
+		}
+	}
+	for i := range counters {
+		e.counterTrack(pidExtra+len(extra)+i, &counters[i])
 		if e.err != nil {
 			return e.err
 		}
@@ -220,9 +258,47 @@ func (e *exporter) sliceArgs(pid, tid int, from, to sim.Time, name, cat, args st
 		pid, tid, ts(from), ts(sim.Time(to.Sub(from))), name, cat, args))
 }
 
+// counterRaw is the one place a "C" event is formatted; name and value must
+// be pre-rendered JSON (a string literal and a number). Event-derived and
+// caller-supplied counter tracks both funnel through it.
+func (e *exporter) counterRaw(pid int, at sim.Time, name, value string) {
+	e.raw(fmt.Sprintf("{\"ph\":\"C\",\"pid\":%d,\"ts\":%s,\"name\":%s,\"args\":{\"value\":%s}}",
+		pid, ts(at), name, value))
+}
+
 func (e *exporter) counter(at sim.Time, name string, value int64) {
-	e.raw(fmt.Sprintf("{\"ph\":\"C\",\"pid\":%d,\"ts\":%s,\"name\":%q,\"args\":{\"value\":%d}}",
-		pidVSched, ts(at), name, value))
+	e.counterRaw(pidVSched, at, strconv.Quote(name), strconv.FormatInt(value, 10))
+}
+
+// counterTrack emits one caller-supplied counter process: its metadata, then
+// every series' points in caller order. Caller-supplied names are untrusted,
+// so they go through the real JSON encoder (fmt's %q is Go syntax, which
+// escapes control bytes as \x00 — invalid JSON).
+func (e *exporter) counterTrack(pid int, t *CounterTrack) {
+	e.raw(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+		pid, jsonString(t.Process)))
+	for i := range t.Series {
+		s := &t.Series[i]
+		name := jsonString(s.Name)
+		for _, p := range s.Points {
+			e.counterRaw(pid, p.At, name, jsonFloat(p.Value))
+		}
+	}
+}
+
+// jsonString renders s as a JSON string literal, escaping anything hostile.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// jsonFloat renders v as a JSON number. The trace format has no NaN/Inf
+// literals, so non-finite values degrade to 0.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // hostTID returns (allocating on first sight) the track id for an entity.

@@ -57,8 +57,8 @@ func TestWorkloadNamesAndExperimentIDs(t *testing.T) {
 		t.Fatalf("catalogue too small: %d", len(vsched.WorkloadNames()))
 	}
 	ids := vsched.ExperimentIDs()
-	if len(ids) != 22 {
-		t.Fatalf("want 22 experiments (fig2..21 + tables + probeacc + fleet + attrib), got %d: %v", len(ids), ids)
+	if len(ids) != 23 {
+		t.Fatalf("want 23 experiments (fig2..21 + tables + probeacc + fleet + attrib + fleetobs), got %d: %v", len(ids), ids)
 	}
 	for _, want := range []string{"fig2", "fig10b", "table2", "fig18", "fig21", "probeacc", "fleet", "attrib"} {
 		found := false
