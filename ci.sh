@@ -31,8 +31,8 @@ go build ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/... ./internal/telemetry/..."
-go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/latprof/... ./internal/telemetry/...
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/...
 
 # Engine differential suite under the race detector, explicitly and never
 # -short: the timing-wheel engine must match the retained heap engine
@@ -76,6 +76,25 @@ go build -o /tmp/vexp_ci ./cmd/experiments
 /tmp/vexp_ci -bench core -smoke -out /tmp/vexp_bench_smoke.json > /dev/null
 /tmp/vexp_ci -bench diff /tmp/vexp_bench_smoke.json /tmp/vexp_bench_smoke.json > /dev/null
 rm -f /tmp/vexp_bench_smoke.json
+
+# Fleet-scale smoke: the fleetscale experiment at full scale — 1024
+# heterogeneous hosts, ~115k VM arrivals (>=100k completed lifetimes), 48
+# hours of virtual time — must finish inside the CI budget (the macro
+# simulator does the whole thing in seconds) and pass its internal
+# serial==sharded snapshot byte-identity gate, which panics on divergence.
+echo "== fleetscale determinism smoke (full scale)"
+go build -o /tmp/vexp_ci ./cmd/experiments
+/tmp/vexp_ci -run fleetscale -seed 42 > /dev/null
+
+# Fleet benchmark pipeline: the -bench fleet smoke must emit a schema-valid
+# artifact and self-diff clean (exercising the lifetimes_per_sec metric in
+# the diff gate). The committed BENCH_fleet.json baseline must also still
+# parse and self-diff clean, so the recorded artifact can't rot silently.
+echo "== fleet bench pipeline + diff smoke"
+/tmp/vexp_ci -bench fleet -smoke -out /tmp/vexp_fleet_smoke.json > /dev/null
+/tmp/vexp_ci -bench diff /tmp/vexp_fleet_smoke.json /tmp/vexp_fleet_smoke.json > /dev/null
+/tmp/vexp_ci -bench diff BENCH_fleet.json BENCH_fleet.json > /dev/null
+rm -f /tmp/vexp_fleet_smoke.json
 
 # Telemetry byte-identity smoke: the fleetobs experiment panics internally if
 # its serial and parallel flight-recorder snapshots diverge; on top of that,

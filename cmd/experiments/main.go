@@ -12,6 +12,7 @@
 //	experiments -run all -timeout 10m       # per-trial wall-clock budget
 //	experiments -run all -out run.jsonl     # JSON-lines artifact with metadata
 //	experiments -bench core -reps 5         # engine benchmark -> BENCH_core.json
+//	experiments -bench fleet -reps 3        # fleet/placement benchmark -> BENCH_fleet.json
 //	experiments -bench core -smoke          # CI pipeline check, seconds not minutes
 //	experiments -bench diff old.json new.json  # compare artifacts, exit 1 on regression
 //	experiments -run fleetobs -telemetry    # append flight-recorder sparklines
@@ -59,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out       = fs.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		bench     = fs.String("bench", "", "run an engine benchmark family ('core'), or 'diff <old.json> <new.json>'")
+		bench     = fs.String("bench", "", "run a benchmark family ('core', 'fleet'), or 'diff <old.json> <new.json>'")
 		smoke     = fs.Bool("smoke", false, "with -bench: shrink scenarios to a CI-sized pipeline check")
 		threshold = fs.Float64("threshold", 0.10, "with -bench diff: regression threshold as a fraction (0.10 = 10% slower fails)")
 		telem     = fs.Bool("telemetry", false, "print flight-recorder sparkline summaries for experiments that record telemetry")
@@ -228,19 +229,28 @@ func runBenchDiff(paths []string, threshold float64, stdout, stderr io.Writer) i
 	return 0
 }
 
-// runBench executes a simulator-core benchmark family and writes the
-// schema-versioned artifact (default BENCH_core.json). The artifact is read
-// back after writing, so a run that exits 0 has produced a valid file.
+// runBench executes a benchmark family ('core' or 'fleet') and writes the
+// schema-versioned artifact (default BENCH_<family>.json). The artifact is
+// read back after writing, so a run that exits 0 has produced a valid file.
 func runBench(family, outPath string, seed int64, reps int, smoke bool, stdout, stderr io.Writer) int {
-	if family != "core" {
-		fmt.Fprintf(stderr, "unknown benchmark family %q (only 'core')\n", family)
+	start := time.Now()
+	var res simbench.Result
+	var err error
+	switch family {
+	case "core":
+		if outPath == "" {
+			outPath = "BENCH_core.json"
+		}
+		res, err = simbench.RunCore(simbench.CoreConfig{BaseSeed: seed, Reps: reps, Smoke: smoke}, stderr)
+	case "fleet":
+		if outPath == "" {
+			outPath = "BENCH_fleet.json"
+		}
+		res, err = simbench.RunFleet(simbench.FleetConfig{BaseSeed: seed, Reps: reps, Smoke: smoke}, stderr)
+	default:
+		fmt.Fprintf(stderr, "unknown benchmark family %q (want 'core' or 'fleet')\n", family)
 		return 1
 	}
-	if outPath == "" {
-		outPath = "BENCH_core.json"
-	}
-	start := time.Now()
-	res, err := simbench.RunCore(simbench.CoreConfig{BaseSeed: seed, Reps: reps, Smoke: smoke}, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -271,6 +281,9 @@ func runBench(family, outPath string, seed int64, reps int, smoke bool, stdout, 
 	}
 	if s, ok := res.Speedup("hold/pending=100000"); ok {
 		fmt.Fprintf(stdout, "wheel/heap speedup at 1e5 pending: %.2fx\n", s)
+	}
+	if s, ok := res.IndexSpeedup(); ok {
+		fmt.Fprintf(stdout, "index/scan placement speedup: %.2fx\n", s)
 	}
 	fmt.Fprintf(stdout, "wrote %s (%d scenarios, %d reps)\n", outPath, len(res.Scenarios), res.Reps)
 	fmt.Fprintf(stderr, "(benchmark wall time %v)\n", time.Since(start).Round(time.Millisecond))

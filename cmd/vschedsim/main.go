@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"vsched"
+	"vsched/internal/cloudgen"
 	"vsched/internal/latprof"
 	"vsched/internal/profiling"
 	"vsched/internal/telemetry"
@@ -40,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		workloadName = fs.String("workload", "nginx", "catalogued benchmark (see -list)")
+		cloudVM      = fs.Bool("cloudvm", false, "draw the VM shape (vCPU count, tenant class) from the cloudgen cloud-trace distributions with -seed; overrides -vcpus")
 		list         = fs.Bool("list", false, "list workloads and exit")
 		vcpus        = fs.Int("vcpus", 8, "vCPU count (pinned 1:1 on threads)")
 		threads      = fs.Int("threads", 0, "workload threads (0 = default)")
@@ -80,6 +82,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		fmt.Fprintln(stdout, "workloads:", strings.Join(vsched.WorkloadNames(), ", "))
 		return 0
+	}
+
+	if *cloudVM {
+		// One draw from the same heavy-tailed size / bimodal class model the
+		// fleetscale experiment runs at 100k-VM scale: a quick way to ask
+		// "what does a typical (or tail) cloud VM look like on this config?".
+		gcfg := cloudgen.DefaultConfig()
+		gcfg.MaxVMs = 1
+		tr := cloudgen.Generate(*seed, gcfg)
+		v := tr.VMs[0]
+		*vcpus = v.VCPUs
+		fmt.Fprintf(stderr, "cloudvm draw (seed %d): %s, %d vCPUs, per-vCPU demand %.2f\n",
+			*seed, v.Class, v.VCPUs, v.Demand)
 	}
 
 	nCores := *cores

@@ -1,0 +1,329 @@
+package cloudgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"vsched/internal/sim"
+)
+
+// smallConfig keeps unit-test traces cheap: ~2.5k VMs over 12h on 24 hosts.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Horizon = 12 * Hour
+	cfg.BaseRate = 200
+	cfg.Hosts = []HostClass{
+		{Name: "std16", Count: 16, Cores: 8, SMT: 2, SpeedFactor: 1.0},
+		{Name: "small8", Count: 8, Cores: 8, SMT: 1, SpeedFactor: 0.9},
+	}
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, smallConfig())
+	b := Generate(7, smallConfig())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := Generate(8, smallConfig())
+	if reflect.DeepEqual(a.VMs, c.VMs) {
+		t.Fatal("different seeds produced identical arrival sequences")
+	}
+}
+
+// encode renders a trace into a canonical byte form: every field of every
+// arrival and host, so any drift anywhere shows up in the digest.
+func encode(tr Trace) []byte {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d horizon=%d\n", tr.Seed, tr.Horizon)
+	out := []byte{}
+	for _, hs := range tr.Hosts {
+		fmt.Fprintf(h, "host %s %d %x\n", hs.Class, hs.Threads, math.Float64bits(hs.SpeedFactor))
+	}
+	for _, vm := range tr.VMs {
+		fmt.Fprintf(h, "vm %d %d %d %d %x %d %d\n",
+			vm.ID, vm.At, vm.VCPUs, vm.Class, math.Float64bits(vm.Demand), vm.Lifetime, vm.Work)
+	}
+	return h.Sum(out)
+}
+
+// TestGoldenTrace pins the generator's exact output for a fixed seed: any
+// change to the sampling order, distribution code or defaults shows up as a
+// digest mismatch and must be a deliberate, documented break.
+func TestGoldenTrace(t *testing.T) {
+	tr := Generate(42, smallConfig())
+	got := fmt.Sprintf("%x", encode(tr))
+	const want = goldenTraceDigest
+	if got != want {
+		t.Fatalf("golden trace digest changed: got %s want %s (VMs=%d)", got, want, len(tr.VMs))
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	cfg := smallConfig()
+	tr := Generate(3, cfg)
+	if len(tr.VMs) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(tr.Hosts) != 24 {
+		t.Fatalf("host expansion: got %d hosts, want 24", len(tr.Hosts))
+	}
+	// Stable fleet order: class declaration order, then instance index.
+	if tr.Hosts[0].Class != "std16" || tr.Hosts[16].Class != "small8" {
+		t.Fatalf("host order not stable: %s / %s", tr.Hosts[0].Class, tr.Hosts[16].Class)
+	}
+	if tr.TotalThreads() != 16*16+8*8 {
+		t.Fatalf("total threads %d", tr.TotalThreads())
+	}
+	var last sim.Time
+	for i, vm := range tr.VMs {
+		if vm.ID != i {
+			t.Fatalf("IDs not sequential: VMs[%d].ID=%d", i, vm.ID)
+		}
+		if vm.At < last {
+			t.Fatalf("arrivals not time-sorted at %d", i)
+		}
+		last = vm.At
+		if vm.At < 0 || vm.At >= sim.Time(cfg.Horizon) {
+			t.Fatalf("arrival %d outside horizon: %v", i, vm.At)
+		}
+		if vm.VCPUs < cfg.Size.MinVCPUs || vm.VCPUs > cfg.Size.MaxVCPUs {
+			t.Fatalf("size %d outside [%d,%d]", vm.VCPUs, cfg.Size.MinVCPUs, cfg.Size.MaxVCPUs)
+		}
+		switch vm.Class {
+		case Batch:
+			if vm.Work <= 0 || vm.Lifetime != 0 || vm.Demand != 1.0 {
+				t.Fatalf("batch VM %d malformed: %+v", i, vm)
+			}
+		case Service:
+			if vm.Lifetime <= 0 || vm.Work != 0 || vm.Demand != cfg.ServiceDemand {
+				t.Fatalf("service VM %d malformed: %+v", i, vm)
+			}
+		}
+	}
+}
+
+func TestMaxVMsCap(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxVMs = 100
+	tr := Generate(5, cfg)
+	if len(tr.VMs) != 100 {
+		t.Fatalf("cap ignored: %d VMs", len(tr.VMs))
+	}
+}
+
+// paretoCDF is the bounded-Pareto CDF on [lo,hi].
+func paretoCDF(x, alpha, lo, hi float64) float64 {
+	if x <= lo {
+		return 0
+	}
+	if x >= hi {
+		return 1
+	}
+	la := math.Pow(lo, alpha)
+	return (1 - la*math.Pow(x, -alpha)) / (1 - la/math.Pow(hi, alpha))
+}
+
+// TestSizeTailMatchesPareto compares the empirical size CDF against the
+// configured bounded Pareto at every power-of-two threshold, across seeds.
+// Sizes are floor-discretized, so P(size <= n) = F(n+1).
+func TestSizeTailMatchesPareto(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BaseRate = 800 // ~10k samples
+	for _, seed := range []int64{1, 2, 3} {
+		tr := Generate(seed, cfg)
+		n := float64(len(tr.VMs))
+		if n < 5000 {
+			t.Fatalf("seed %d: too few samples (%v) for a tail check", seed, n)
+		}
+		for _, thr := range []int{1, 2, 4, 8, 16} {
+			count := 0
+			for _, vm := range tr.VMs {
+				if vm.VCPUs <= thr {
+					count++
+				}
+			}
+			got := float64(count) / n
+			want := paretoCDF(float64(thr+1), cfg.Size.Alpha,
+				float64(cfg.Size.MinVCPUs), float64(cfg.Size.MaxVCPUs))
+			if math.Abs(got-want) > 0.025 {
+				t.Fatalf("seed %d: P(vcpus<=%d)=%.4f, bounded Pareto wants %.4f", seed, thr, got, want)
+			}
+		}
+	}
+}
+
+// ksStat computes the two-sided Kolmogorov-Smirnov statistic of samples
+// against an analytic CDF.
+func ksStat(samples []float64, cdf func(float64) float64) float64 {
+	sort.Float64s(samples)
+	n := float64(len(samples))
+	d := 0.0
+	for i, x := range samples {
+		f := cdf(x)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// lognormalCDF with the package's (median, log-sigma) parameterisation.
+func lognormalCDF(x, median, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-math.Log(median))/(sigma*math.Sqrt2))
+}
+
+// TestLifetimesMatchConfiguredDistributions KS-tests both lifetime modes
+// against their configured lognormals, across seeds. The 1ms floor trims a
+// vanishing amount of mass, so the KS distance stays near sampling noise.
+func TestLifetimesMatchConfiguredDistributions(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BaseRate = 800
+	for _, seed := range []int64{11, 12, 13} {
+		tr := Generate(seed, cfg)
+		var work, life []float64
+		for _, vm := range tr.VMs {
+			if vm.Class == Batch {
+				work = append(work, float64(vm.Work))
+			} else {
+				life = append(life, float64(vm.Lifetime))
+			}
+		}
+		if len(work) < 1000 || len(life) < 500 {
+			t.Fatalf("seed %d: too few samples (batch %d, service %d)", seed, len(work), len(life))
+		}
+		lf := cfg.Lifetime
+		if d := ksStat(work, func(x float64) float64 {
+			return lognormalCDF(x, float64(lf.EphemeralMean), lf.EphemeralSigma)
+		}); d > 0.05 {
+			t.Fatalf("seed %d: batch work KS distance %.4f vs configured lognormal", seed, d)
+		}
+		if d := ksStat(life, func(x float64) float64 {
+			return lognormalCDF(x, float64(lf.LongMean), lf.LongSigma)
+		}); d > 0.05 {
+			t.Fatalf("seed %d: service lifetime KS distance %.4f vs configured lognormal", seed, d)
+		}
+		// Bimodal mix: empirical ephemeral fraction tracks the configured one.
+		frac := float64(len(work)) / float64(len(work)+len(life))
+		if math.Abs(frac-lf.EphemeralFrac) > 0.03 {
+			t.Fatalf("seed %d: ephemeral fraction %.3f, configured %.3f", seed, frac, lf.EphemeralFrac)
+		}
+	}
+}
+
+// TestDiurnalModulation bins arrivals by hour-of-day across the horizon and
+// checks the peak-to-trough ratio approaches (1+A)/(1-A).
+func TestDiurnalModulation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Horizon = 48 * Hour
+	cfg.BaseRate = 400
+	bins := make([]int, 24)
+	for _, seed := range []int64{21, 22} {
+		tr := Generate(seed, cfg)
+		for _, vm := range tr.VMs {
+			hr := int(vm.At/sim.Time(Hour)) % 24
+			bins[hr]++
+		}
+	}
+	peak, trough := 0, math.MaxInt
+	for _, b := range bins {
+		if b > peak {
+			peak = b
+		}
+		if b < trough {
+			trough = b
+		}
+	}
+	want := (1 + cfg.DiurnalAmplitude) / (1 - cfg.DiurnalAmplitude) // 4.0 at A=0.6
+	ratio := float64(peak) / float64(trough)
+	if ratio < want*0.6 || ratio > want*1.6 {
+		t.Fatalf("peak/trough hourly arrivals %.2f, diurnal modulation wants ~%.1f", ratio, want)
+	}
+	// An unmodulated process must look flat through the same binning.
+	flat := cfg
+	flat.DiurnalAmplitude = 0
+	fb := make([]int, 24)
+	tr := Generate(23, flat)
+	for _, vm := range tr.VMs {
+		fb[int(vm.At/sim.Time(Hour))%24]++
+	}
+	fp, ft := 0, math.MaxInt
+	for _, b := range fb {
+		if b > fp {
+			fp = b
+		}
+		if b < ft {
+			ft = b
+		}
+	}
+	if r := float64(fp) / float64(ft); r > 2.0 {
+		t.Fatalf("unmodulated trace shows %.2fx hourly swing", r)
+	}
+}
+
+// TestLognormalSizes covers the alternative size family end to end.
+func TestLognormalSizes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Size = SizeDist{Kind: SizeLognormal, MinVCPUs: 1, MaxVCPUs: 16, Mu: 1.0, Sigma: 0.8}
+	tr := Generate(9, cfg)
+	seen := map[int]int{}
+	for _, vm := range tr.VMs {
+		if vm.VCPUs < 1 || vm.VCPUs > 16 {
+			t.Fatalf("lognormal size %d out of bounds", vm.VCPUs)
+		}
+		seen[vm.VCPUs]++
+	}
+	// exp(mu)=e~2.7: mass must straddle the median, not pile on a clamp.
+	if seen[1] == 0 || seen[2] == 0 || seen[4] == 0 {
+		t.Fatalf("lognormal sizes degenerate: %v", seen)
+	}
+	if seen[16] > len(tr.VMs)/4 {
+		t.Fatalf("lognormal sizes piled on the upper clamp: %v", seen)
+	}
+}
+
+func TestSizeClampToLargestHost(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hosts = []HostClass{{Name: "tiny", Count: 4, Cores: 2, SMT: 2, SpeedFactor: 1.0}}
+	tr := Generate(13, cfg)
+	for _, vm := range tr.VMs {
+		if vm.VCPUs > 4 {
+			t.Fatalf("VM of %d vCPUs cannot be placed on 4-thread hosts", vm.VCPUs)
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.DiurnalAmplitude = 1.0 },
+		func(c *Config) { c.Size.MinVCPUs = 0 },
+		func(c *Config) { c.Size.MaxVCPUs = 0 },
+		func(c *Config) { c.Size.Alpha = -1 },
+		func(c *Config) { c.Lifetime.EphemeralFrac = 1.5 },
+		func(c *Config) { c.Lifetime.EphemeralMean = -Hour },
+		func(c *Config) { c.Hosts = []HostClass{{Name: "bad", Count: 0, Cores: 1, SMT: 1, SpeedFactor: 1}} },
+		func(c *Config) { c.Hosts = []HostClass{{Name: "bad", Count: 1, Cores: 1, SMT: 1, SpeedFactor: -1}} },
+	}
+	for i, mut := range cases {
+		cfg := smallConfig()
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: invalid config did not panic", i)
+				}
+			}()
+			Generate(1, cfg)
+		}()
+	}
+}

@@ -363,6 +363,7 @@ func Registry() []Runner {
 		{"fleet", "Fleet-scale placement: policy x guest on a 32-host cluster", FleetScale},
 		{"attrib", "Latency attribution: per-cause wall-time breakdown by config", Attrib},
 		{"fleetobs", "Telemetry flight recorder: determinism, memory bound, steal signal", FleetObs},
+		{"fleetscale", "Cloud-scale placement: 1024-host heterogeneous fleet on a generated trace", CloudScale},
 	}
 }
 

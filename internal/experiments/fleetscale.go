@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"vsched/internal/cloudgen"
+	"vsched/internal/fleet"
+	"vsched/internal/sim"
+	"vsched/internal/telemetry"
+)
+
+// CloudScale pushes the fleet layer to cloud-provider dimensions (no paper
+// counterpart; the paper's testbed stops at a handful of hosts). A cloudgen
+// trace — heavy-tailed VM sizes, diurnal arrivals, bimodal lifetimes,
+// heterogeneous host classes — drives the macro fleet simulator at full
+// scale: 1024 hosts, ~115k VM arrivals, 48 hours of virtual time, per
+// placement policy. Reported per policy:
+//
+//   - degree of imbalance (max-min)/avg of host utilization, mean and max
+//     over epochs — the CloudSim load-balance metric;
+//   - batch makespan (completion of the last batch VM);
+//   - p95 per-VM steal fraction — the vSched-visible cost of bad placement;
+//   - throughput accounting (placed / rejected / completed lifetimes).
+//
+// Every cell runs twice, serially and sharded across host-range goroutines,
+// and panics unless the two final-state snapshots are byte-identical: the
+// determinism gate that keeps the sharded fast path honest. The sharded run
+// also carries a telemetry recorder, which must not perturb the bytes
+// either.
+func CloudScale(o Options) *Report {
+	cfg := cloudgen.DefaultConfig()
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	if scale < 1 {
+		// Shrink every axis with floors that keep the scenario meaningful:
+		// heterogeneous hosts, thousands of lifetimes, several diurnal-scale
+		// hours.
+		if h := sim.Duration(float64(cfg.Horizon) * scale); h >= 3*cloudgen.Hour {
+			cfg.Horizon = h
+		} else {
+			cfg.Horizon = 3 * cloudgen.Hour
+		}
+		if r := cfg.BaseRate * scale * 4; r < cfg.BaseRate {
+			cfg.BaseRate = r
+		}
+		for i := range cfg.Hosts {
+			if n := int(float64(cfg.Hosts[i].Count) * scale); n >= 2 {
+				cfg.Hosts[i].Count = n
+			} else {
+				cfg.Hosts[i].Count = 2
+			}
+		}
+	}
+	trace := cloudgen.Generate(o.Seed, cfg)
+
+	tcfg := telemetry.Config{Interval: 60 * sim.Second}
+
+	rep := &Report{
+		ID:    "fleetscale",
+		Title: "Cloud-scale placement: heavy-tailed diurnal trace on a heterogeneous fleet (macro)",
+		Header: []string{"policy", "placed", "rejected", "lifetimes", "DI mean", "DI max",
+			"makespan h", "p95 steal", "steal vCPU-h", "Mevents"},
+	}
+	rep.Notef("trace: %d hosts (%d threads), %d arrivals over %.0fh, seed %d",
+		len(trace.Hosts), trace.TotalThreads(), len(trace.VMs), trace.Horizon.Seconds()/3600, o.Seed)
+
+	policies := []fleet.Policy{fleet.FirstFit{}, fleet.LeastLoaded{}, fleet.StealAware{}}
+	for _, pol := range policies {
+		run := func(shards int, tc *telemetry.Config) *fleet.MacroResult {
+			return fleet.RunMacro(fleet.MacroConfig{
+				Trace:     trace,
+				Policy:    pol,
+				Epoch:     60 * sim.Second,
+				Shards:    shards,
+				Telemetry: tc,
+				Observe:   func(e *sim.Engine) { o.Stats.Track(e) },
+			})
+		}
+		serial := run(1, nil)
+		sharded := run(8, &tcfg)
+		// The determinism gate: host-range sharding (and the attached
+		// recorder) must not move a single bit of final state.
+		if !bytes.Equal(serial.Snapshot, sharded.Snapshot) {
+			panic(fmt.Sprintf("fleetscale: %s serial/sharded snapshots diverge: %s vs %s",
+				pol.Name(), fleet.SnapshotDigest(serial.Snapshot), fleet.SnapshotDigest(sharded.Snapshot)))
+		}
+		r := sharded
+		o.Stats.TrackRegistry("fleetscale."+r.Policy, r.Registry)
+		o.Stats.TrackTelemetry("fleetscale."+r.Policy, r.Telemetry)
+		rep.Add(r.Policy,
+			fmt.Sprintf("%d", r.Placed),
+			fmt.Sprintf("%d", r.Rejected),
+			fmt.Sprintf("%d", r.Lifetimes),
+			fmt.Sprintf("%.3f", r.DIMean),
+			fmt.Sprintf("%.3f", r.DIMax),
+			fmt.Sprintf("%.2f", r.Makespan.Sub(0).Seconds()/3600),
+			fmt.Sprintf("%.4f", r.P95Steal),
+			fmt.Sprintf("%.1f", r.TotalStealHours),
+			fmt.Sprintf("%.1f", float64(r.Events)/1e6),
+		)
+		if o.Verbose {
+			rep.Notef("%s: snapshot %s", r.Policy, fleet.SnapshotDigest(r.Snapshot))
+		}
+	}
+	rep.Notef("determinism gate: serial == sharded final-state bytes for every policy")
+	return rep
+}

@@ -176,6 +176,13 @@ type Fleet struct {
 	hosts []*hostState
 	vms   []*fleetVM // every VM ever placed, in placement order
 
+	// ix and ipol replace the per-arrival O(hosts) snapshot scan when the
+	// policy supports indexed placement; non-indexed policies keep the
+	// linear view() path. Decisions are identical either way (pinned by the
+	// differential test in index_test.go).
+	ix   *HostIndex
+	ipol IndexedPolicy
+
 	placed, rejected, departed, migrations int
 	reg                                    *metrics.Registry
 	rec                                    *telemetry.Recorder
@@ -220,7 +227,34 @@ func New(cfg Config) *Fleet {
 		}
 		f.hosts = append(f.hosts, hs)
 	}
+	if ipol, ok := cfg.Policy.(IndexedPolicy); ok {
+		caps := make([]int, len(f.hosts))
+		for i := range caps {
+			caps[i] = f.capacity()
+		}
+		f.ix = NewHostIndex(caps)
+		f.ipol = ipol
+	}
 	return f
+}
+
+// info renders one host's policy snapshot row.
+func (f *Fleet) info(hs *hostState) HostInfo {
+	return HostInfo{
+		Index:     hs.index,
+		Committed: hs.committed,
+		Capacity:  f.capacity(),
+		VMs:       len(hs.vms),
+		StealRate: hs.stealEMA,
+	}
+}
+
+// reindex refreshes one host's leaf in the placement index after its
+// commitments or telemetry changed. No-op on the linear path.
+func (f *Fleet) reindex(hs *hostState) {
+	if f.ix != nil {
+		f.ix.Update(hs.index, hs.committed, f.ipol.Score(f.info(hs)))
+	}
 }
 
 // Engine returns the cell's private engine.
@@ -234,18 +268,12 @@ func (f *Fleet) capacity() int {
 	return int(f.cfg.Overcommit * float64(f.hosts[0].h.NumThreads()))
 }
 
-// view renders the per-host snapshot handed to placement policies.
+// view renders the per-host snapshot handed to non-indexed placement
+// policies, in stable host-ID order.
 func (f *Fleet) view() []HostInfo {
 	out := make([]HostInfo, len(f.hosts))
-	cap := f.capacity()
 	for i, hs := range f.hosts {
-		out[i] = HostInfo{
-			Index:     i,
-			Committed: hs.committed,
-			Capacity:  cap,
-			VMs:       len(hs.vms),
-			StealRate: hs.stealEMA,
-		}
+		out[i] = f.info(hs)
 	}
 	return out
 }
@@ -293,14 +321,24 @@ func (f *Fleet) Run() *Result {
 	cfg := f.cfg
 	arr := make([]Arrival, len(cfg.Arrivals))
 	copy(arr, cfg.Arrivals)
-	sort.SliceStable(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+	// Simultaneous arrivals tie-break by ID, not input slice order, so a
+	// shuffled copy of a trace replays identically.
+	sort.SliceStable(arr, func(i, j int) bool {
+		if arr[i].At != arr[j].At {
+			return arr[i].At < arr[j].At
+		}
+		return arr[i].ID < arr[j].ID
+	})
 	maxV := f.hosts[0].h.NumThreads()
-	for _, a := range arr {
+	for i := range arr {
 		// One thread per vCPU: stacking happens across VMs (overcommit),
 		// never inside one.
-		if a.Type.VCPUs <= 0 || a.Type.VCPUs > maxV {
+		if a := arr[i]; a.Type.VCPUs <= 0 || a.Type.VCPUs > maxV {
 			panic(fmt.Sprintf("fleet: VM type %s wants %d vCPUs on %d-thread hosts",
 				a.Type.Name, a.Type.VCPUs, maxV))
+		}
+		if arr[i].Lifetime < 0 {
+			arr[i].Lifetime = 0 // negative duration = pinned to the horizon
 		}
 	}
 	for i := range arr {
@@ -327,7 +365,12 @@ func (f *Fleet) arrive(a Arrival) {
 	cfg.Tracer.Emit(now, vtrace.KindVMArrive, name, int64(a.Type.VCPUs), 0, 0)
 	f.reg.Counter("fleet.arrivals").Inc()
 
-	hi := cfg.Policy.Place(f.view(), a.Type.VCPUs)
+	var hi int
+	if f.ix != nil {
+		hi = f.ipol.PlaceIndexed(f.ix, a.Type.VCPUs)
+	} else {
+		hi = cfg.Policy.Place(f.view(), a.Type.VCPUs)
+	}
 	if hi < 0 || hi >= len(f.hosts) ||
 		f.hosts[hi].committed+a.Type.VCPUs > f.capacity() {
 		f.rejected++
@@ -369,6 +412,7 @@ func (f *Fleet) arrive(a Arrival) {
 	vm.inst = a.Type.instantiate(vm)
 	vm.inst.Start()
 	hs.vms = append(hs.vms, vm)
+	f.reindex(hs)
 	f.vms = append(f.vms, vm)
 	f.placed++
 	f.reg.Counter("fleet.placed").Inc()
@@ -392,6 +436,7 @@ func (f *Fleet) depart(vm *fleetVM) {
 	hs := f.hosts[vm.hostIdx]
 	hs.release(vm.threads)
 	hs.removeVM(vm)
+	f.reindex(hs)
 	f.departed++
 	f.reg.Counter("fleet.departed").Inc()
 	f.cfg.Tracer.Emit(f.eng.Now(), vtrace.KindVMExit, vm.name,
@@ -427,6 +472,7 @@ func (f *Fleet) telemetryTick() {
 		}
 		rate := float64(delta) / (float64(interval) * float64(len(hs.occ)))
 		hs.stealEMA = alpha*rate + (1-alpha)*hs.stealEMA
+		f.reindex(hs)
 	}
 	f.eng.After(interval, f.telemetryTick)
 }

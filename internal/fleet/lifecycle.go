@@ -59,7 +59,9 @@ type Arrival struct {
 	ID   int
 	Type VMType
 	At   sim.Time
-	// Lifetime 0 means the VM stays to the horizon.
+	// Lifetime <= 0 means the VM stays to the horizon (negative values are
+	// normalised to 0 by Run). Simultaneous arrivals (equal At) are
+	// processed in ascending ID order regardless of slice order.
 	Lifetime sim.Duration
 }
 
@@ -76,15 +78,28 @@ type TypeMix struct {
 // its arguments — cells that must replay the identical trace (policy and
 // guest comparisons) pass the same seed, and the private rand keeps the
 // trace independent of anything else the engine draws.
+//
+// Edge cases are pinned deterministically (see the regression tests): a
+// negative window or MeanLifetime panics (a sign error upstream, not a
+// degenerate trace), a zero-duration lifetime draw is floored to 50ms so no
+// generated VM ever departs in the instant it arrives, and arrivals that
+// collapse onto the same timestamp (window 0, or exponential gaps rounding
+// to zero) keep strictly increasing IDs, which Run uses as the tie-break.
 func GenerateArrivals(seed int64, n int, window sim.Duration, mix []TypeMix) []Arrival {
 	if n <= 0 || len(mix) == 0 {
 		return nil
+	}
+	if window < 0 {
+		panic(fmt.Sprintf("fleet: negative arrival window %v", window))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	total := 0
 	for _, m := range mix {
 		if m.Weight <= 0 {
 			panic(fmt.Sprintf("fleet: non-positive weight for type %s", m.Type.Name))
+		}
+		if m.MeanLifetime < 0 {
+			panic(fmt.Sprintf("fleet: negative mean lifetime for type %s", m.Type.Name))
 		}
 		total += m.Weight
 	}

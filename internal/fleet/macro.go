@@ -1,0 +1,632 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"vsched/internal/cloudgen"
+	"vsched/internal/metrics"
+	"vsched/internal/sim"
+	"vsched/internal/telemetry"
+)
+
+// The macro fleet simulator. The micro fleet (fleet.go) simulates every
+// vCPU, thread and scheduler decision — priceless for fidelity, hopeless at
+// 1024 hosts x 100k VM lifetimes x 48 hours. Macro keeps the control plane
+// exact (the same placement policies, the same HostIndex, the same
+// steal-EMA signal) and replaces the data plane with an analytic contention
+// model integrated epoch by epoch:
+//
+//	demand D  = sum over live VMs of vcpus * per-vCPU demand weight
+//	rho       = min(1, threads / D)       delivered fraction of demand
+//	steal    += demand * (1 - rho) * dt   per VM, the vSched-visible signal
+//	progress += rho * speed * dt          per batch vCPU, stretching makespan
+//
+// Everything is quantized to the epoch: arrivals in [t, t+E) place at t (in
+// ascending (At, ID) order), departures due by t leave at t, and rho holds
+// for the whole epoch. A batch VM whose budget drains mid-epoch stops
+// accruing steal at its analytic completion instant (that instant is the
+// makespan contribution) but frees its commitment at the next boundary.
+//
+// Scale: state is flat value-typed arrays (one macroVM, one macroHost per
+// entity — no pointers into the engine), and the epoch integration shards
+// across contiguous host ranges on real goroutines inside a single engine
+// callback. Each host's VMs live on exactly one shard, so the parallel phase
+// writes disjoint state; every cross-host reduction (DI, snapshot, placement)
+// runs serially in host order afterwards. Serial and sharded runs are
+// byte-identical — the fleetscale experiment panics if not.
+type MacroConfig struct {
+	Trace cloudgen.Trace
+	// Policy places arriving VMs. IndexedPolicy implementations go through
+	// the HostIndex (O(log hosts) per placement); plain policies fall back
+	// to the linear snapshot scan.
+	Policy Policy
+	// Overcommit scales threads into the admission bound (default 2.0).
+	Overcommit float64
+	// Epoch is the integration step (default 60s of virtual time).
+	Epoch sim.Duration
+	// Shards is the number of worker goroutines for the epoch integration;
+	// <= 1 runs serially. Results are identical either way.
+	Shards int
+	// Horizon overrides Trace.Horizon when > 0.
+	Horizon sim.Duration
+	// Telemetry, when non-nil, attaches a flight recorder sampling the
+	// fleet-wide aggregates (fleet.macro.*) and the cell registry.
+	Telemetry *telemetry.Config
+	// Observe, when non-nil, is called with the cell's engine before the
+	// run starts (the experiments harness uses it to track effort and
+	// propagate interrupts).
+	Observe func(*sim.Engine)
+}
+
+// MacroResult is one macro cell's outcome.
+type MacroResult struct {
+	Policy   string
+	Hosts    int
+	Arrivals int
+	Placed   int
+	Rejected int
+	// Lifetimes counts completed VM lifetimes (departures) inside the
+	// horizon; VMs still resident at the end are not lifetimes.
+	Lifetimes int
+	// Events counts units of simulation work: placements, departures and
+	// per-VM epoch integrations.
+	Events uint64
+	// DIMean / DIMax summarize the per-epoch degree of imbalance
+	// (max-min)/avg of host utilization, the CloudSim load-balance metric.
+	DIMean, DIMax float64
+	// Makespan is the completion instant of the last batch VM (0 if none
+	// completed).
+	Makespan sim.Time
+	// P95Steal is the 95th-percentile per-VM steal fraction
+	// steal/(steal+served) over every VM that demanded CPU.
+	P95Steal float64
+	// TotalStealHours is fleet-wide accumulated steal in vCPU-hours.
+	TotalStealHours float64
+	// Snapshot is the canonical byte encoding of final simulation state;
+	// serial and sharded runs of the same config must produce identical
+	// bytes.
+	Snapshot []byte
+	// Registry exposes the cell's counters; Telemetry the recorder when
+	// configured.
+	Registry  *metrics.Registry
+	Telemetry *telemetry.Recorder
+}
+
+// macroVM is one VM's compact bookkeeping (no per-vCPU state).
+type macroVM struct {
+	at     sim.Time
+	depart sim.Time // service deadline; batch analytic completion once known
+	work   float64  // batch: remaining per-vCPU seconds of compute
+	demand float64  // per-vCPU demand weight while alive
+	steal  float64  // accumulated stolen vCPU-seconds
+	served float64  // accumulated delivered vCPU-seconds
+	host   int32
+	vcpus  int16
+	batch  bool
+	alive  bool
+	done   bool // batch budget drained, awaiting boundary departure
+}
+
+// macroHost is one host's compact bookkeeping.
+type macroHost struct {
+	threads   int32
+	capacity  int32 // admission bound: overcommit * threads
+	committed int32
+	speed     float64
+	stealEMA  float64
+	util      float64 // last epoch's min(1, D/threads)
+	vms       []int32 // live VM ids in placement order
+}
+
+// macroAgg is the fleet-wide aggregate block the telemetry source samples.
+type macroAgg struct {
+	alive, committed  float64
+	utilMean, utilMax float64
+	di, stealEMAMean  float64
+}
+
+type macroSim struct {
+	cfg     MacroConfig
+	eng     *sim.Engine
+	reg     *metrics.Registry
+	rec     *telemetry.Recorder
+	hosts   []macroHost
+	vms     []macroVM
+	ix      *HostIndex
+	ipol    IndexedPolicy
+	next    int // first trace VM not yet arrived
+	horizon sim.Time
+
+	placed, rejected, departed int
+	events                     uint64
+	diSum, diMax               float64
+	diEpochs                   int
+	makespan                   sim.Time
+	agg                        macroAgg
+
+	// departQ holds live VM ids ordered by departure time then id; a plain
+	// sorted-slice sweep, rebuilt incrementally (batch completions join at
+	// the epoch boundary after their budget drains).
+	departQ []int32
+
+	// per-shard scratch, reused every epoch
+	completions [][]int32
+}
+
+// RunMacro executes one macro cell to its horizon and returns the result.
+func RunMacro(cfg MacroConfig) *MacroResult {
+	if len(cfg.Trace.Hosts) == 0 {
+		panic("fleet: macro run needs a host population")
+	}
+	if cfg.Overcommit <= 0 {
+		cfg.Overcommit = 2.0
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 60 * sim.Second
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = cfg.Trace.Horizon
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FirstFit{}
+	}
+	m := &macroSim{
+		cfg:     cfg,
+		eng:     sim.NewEngine(cfg.Trace.Seed),
+		reg:     metrics.NewRegistry(),
+		horizon: sim.Time(0).Add(cfg.Horizon),
+	}
+	m.hosts = make([]macroHost, len(cfg.Trace.Hosts))
+	caps := make([]int, len(cfg.Trace.Hosts))
+	for i, hs := range cfg.Trace.Hosts {
+		c := int(cfg.Overcommit * float64(hs.Threads))
+		m.hosts[i] = macroHost{
+			threads:  int32(hs.Threads),
+			capacity: int32(c),
+			speed:    hs.SpeedFactor,
+		}
+		caps[i] = c
+	}
+	m.vms = make([]macroVM, len(cfg.Trace.VMs))
+	if ipol, ok := cfg.Policy.(IndexedPolicy); ok {
+		m.ix = NewHostIndex(caps)
+		m.ipol = ipol
+	}
+	m.completions = make([][]int32, cfg.Shards)
+	if cfg.Telemetry != nil {
+		m.rec = telemetry.New(m.eng, *cfg.Telemetry)
+		m.rec.AddSource("", telemetry.RegistrySource(m.reg))
+		m.rec.AddSource("", macroSource{m})
+		m.rec.Start()
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(m.eng)
+	}
+	m.eng.At(0, m.epoch)
+	m.eng.Run(m.horizon)
+	m.boundary(m.horizon) // final departures + arrivals bookkeeping at the edge
+	return m.result()
+}
+
+// epoch advances one integration step: boundary work (departures, arrivals,
+// rescoring) then the parallel integration of [now, now+E).
+func (m *macroSim) epoch() {
+	now := m.eng.Now()
+	m.boundary(now)
+	end := now.Add(m.cfg.Epoch)
+	if end > m.horizon {
+		end = m.horizon
+	}
+	if end > now {
+		m.integrate(now, end)
+	}
+	if end < m.horizon {
+		m.eng.At(end, m.epoch)
+	}
+}
+
+// boundary performs the serial epoch-start work at time t: departures due by
+// t, then arrivals with At < t+E placed in trace order.
+func (m *macroSim) boundary(t sim.Time) {
+	// Departures: the queue is sorted by (depart, id); batch VMs whose
+	// budget drained last epoch were re-sorted in with their quantized
+	// boundary departure time.
+	dq := m.departQ
+	cut := 0
+	for cut < len(dq) {
+		vm := &m.vms[dq[cut]]
+		if vm.alive && vm.depart > t {
+			break
+		}
+		cut++
+	}
+	for _, id := range dq[:cut] {
+		vm := &m.vms[id]
+		if !vm.alive {
+			continue
+		}
+		m.depart(id)
+	}
+	m.departQ = dq[cut:]
+
+	// Rescore every host before placing: committed changed above and
+	// stealEMA changed during the last integration.
+	if m.ix != nil {
+		for i := range m.hosts {
+			h := &m.hosts[i]
+			m.ix.Update(i, int(h.committed), m.ipol.Score(m.macroInfo(i)))
+		}
+	}
+
+	// Arrivals in [t, t+E), already sorted by (At, ID) in the trace.
+	limit := t.Add(m.cfg.Epoch)
+	var dirty bool
+	for m.next < len(m.cfg.Trace.VMs) {
+		tv := &m.cfg.Trace.VMs[m.next]
+		if tv.At >= limit || tv.At >= m.horizon {
+			break
+		}
+		m.place(m.next, t)
+		m.next++
+		dirty = true
+	}
+	if dirty {
+		sort.SliceStable(m.departQ, func(a, b int) bool {
+			va, vb := &m.vms[m.departQ[a]], &m.vms[m.departQ[b]]
+			if va.depart != vb.depart {
+				return va.depart < vb.depart
+			}
+			return m.departQ[a] < m.departQ[b]
+		})
+	}
+}
+
+// macroInfo builds the policy snapshot row for host i.
+func (m *macroSim) macroInfo(i int) HostInfo {
+	h := &m.hosts[i]
+	return HostInfo{
+		Index:     i,
+		Committed: int(h.committed),
+		Capacity:  int(h.capacity),
+		VMs:       len(h.vms),
+		StealRate: h.stealEMA,
+	}
+}
+
+// place admits trace VM idx at epoch time t (or rejects it).
+func (m *macroSim) place(idx int, t sim.Time) {
+	tv := &m.cfg.Trace.VMs[idx]
+	var hi int
+	if m.ix != nil {
+		hi = m.ipol.PlaceIndexed(m.ix, tv.VCPUs)
+	} else {
+		snap := make([]HostInfo, len(m.hosts))
+		for i := range m.hosts {
+			snap[i] = m.macroInfo(i)
+		}
+		hi = m.cfg.Policy.Place(snap, tv.VCPUs)
+	}
+	m.events++
+	if hi < 0 {
+		m.rejected++
+		m.reg.Counter("fleet.macro.rejected").Inc()
+		return
+	}
+	h := &m.hosts[hi]
+	h.committed += int32(tv.VCPUs)
+	vm := &m.vms[idx]
+	*vm = macroVM{
+		at:     t,
+		demand: tv.Demand,
+		host:   int32(hi),
+		vcpus:  int16(tv.VCPUs),
+		batch:  tv.Class == cloudgen.Batch,
+		alive:  true,
+	}
+	if vm.batch {
+		vm.work = tv.Work.Seconds()
+		vm.depart = m.horizon // until the budget drains
+	} else {
+		vm.depart = t.Add(tv.Lifetime)
+	}
+	h.vms = append(h.vms, int32(idx))
+	m.departQ = append(m.departQ, int32(idx))
+	m.placed++
+	m.reg.Counter("fleet.macro.placed").Inc()
+	if m.ix != nil {
+		m.ix.Update(hi, int(h.committed), m.ipol.Score(m.macroInfo(hi)))
+	}
+}
+
+// depart releases VM id's commitment and removes it from its host.
+func (m *macroSim) depart(id int32) {
+	vm := &m.vms[id]
+	vm.alive = false
+	h := &m.hosts[vm.host]
+	h.committed -= int32(vm.vcpus)
+	for k, v := range h.vms {
+		if v == id {
+			h.vms = append(h.vms[:k], h.vms[k+1:]...)
+			break
+		}
+	}
+	m.departed++
+	m.events++
+	m.reg.Counter("fleet.macro.departed").Inc()
+}
+
+// integrate advances every host through [t0, t1). The per-host work is
+// independent — each VM belongs to one host — so it shards across contiguous
+// host ranges. All cross-host reductions happen serially afterwards, in host
+// order, so shard count cannot perturb a single float operation.
+func (m *macroSim) integrate(t0, t1 sim.Time) {
+	shards := m.cfg.Shards
+	if shards > len(m.hosts) {
+		shards = len(m.hosts)
+	}
+	per := (len(m.hosts) + shards - 1) / shards
+	if shards == 1 {
+		m.completions[0] = m.integrateRange(0, len(m.hosts), t0, t1, m.completions[0][:0])
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			lo := s * per
+			hi := lo + per
+			if hi > len(m.hosts) {
+				hi = len(m.hosts)
+			}
+			if lo >= hi {
+				m.completions[s] = m.completions[s][:0]
+				continue
+			}
+			wg.Add(1)
+			go func(s, lo, hi int) {
+				defer wg.Done()
+				m.completions[s] = m.integrateRange(lo, hi, t0, t1, m.completions[s][:0])
+			}(s, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Serial merge, shard order == host order: batch completions re-enter
+	// the departure queue with their boundary departure time.
+	var events uint64
+	for i := range m.hosts {
+		events += uint64(len(m.hosts[i].vms)) + 1
+	}
+	m.events += events
+	for s := 0; s < shards; s++ {
+		for _, id := range m.completions[s] {
+			vm := &m.vms[id]
+			// depart holds the analytic completion instant; the makespan is
+			// the latest one seen. The actual departure quantizes to the
+			// epoch boundary.
+			if vm.depart > m.makespan {
+				m.makespan = vm.depart
+			}
+			vm.depart = t1
+		}
+	}
+	if len(m.departQ) > 1 {
+		sort.SliceStable(m.departQ, func(a, b int) bool {
+			va, vb := &m.vms[m.departQ[a]], &m.vms[m.departQ[b]]
+			if va.depart != vb.depart {
+				return va.depart < vb.depart
+			}
+			return m.departQ[a] < m.departQ[b]
+		})
+	}
+
+	// Degree of imbalance over hosts with any capacity, serial in host order.
+	minU, maxU, sumU := math.Inf(1), math.Inf(-1), 0.0
+	sumSteal, sumCommitted, alive := 0.0, 0.0, 0.0
+	for i := range m.hosts {
+		h := &m.hosts[i]
+		u := h.util
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+		sumU += u
+		sumSteal += h.stealEMA
+		sumCommitted += float64(h.committed)
+		alive += float64(len(h.vms))
+	}
+	n := float64(len(m.hosts))
+	di := 0.0
+	if sumU > 0 {
+		di = (maxU - minU) / (sumU / n)
+		m.diSum += di
+		m.diEpochs++
+		if di > m.diMax {
+			m.diMax = di
+		}
+	}
+	m.agg = macroAgg{
+		alive:        alive,
+		committed:    sumCommitted,
+		utilMean:     sumU / n,
+		utilMax:      maxU,
+		di:           di,
+		stealEMAMean: sumSteal / n,
+	}
+	m.reg.Counter("fleet.macro.epochs").Inc()
+}
+
+// integrateRange advances hosts [lo, hi) through [t0, t1), appending batch
+// VMs whose budget drained to done. Touches only state owned by those hosts.
+func (m *macroSim) integrateRange(lo, hi int, t0, t1 sim.Time, done []int32) []int32 {
+	dt := t1.Sub(t0).Seconds()
+	const alpha = 0.4 // same smoothing the micro fleet's steal EMA uses
+	for i := lo; i < hi; i++ {
+		h := &m.hosts[i]
+		demand := 0.0
+		for _, id := range h.vms {
+			vm := &m.vms[id]
+			demand += float64(vm.vcpus) * vm.demand
+		}
+		rho := 1.0
+		if demand > float64(h.threads) {
+			rho = float64(h.threads) / demand
+		}
+		util := demand / float64(h.threads)
+		if util > 1 {
+			util = 1
+		}
+		h.util = util
+		target := 0.0
+		if demand > 0 {
+			target = 1 - rho
+		}
+		h.stealEMA = alpha*target + (1-alpha)*h.stealEMA
+		for _, id := range h.vms {
+			vm := &m.vms[id]
+			span := dt
+			if vm.batch && !vm.done {
+				rate := rho * h.speed // per-vCPU progress per second
+				if need := vm.work / rate; need < span {
+					span = need
+					vm.work = 0
+					vm.done = true
+					// Analytic completion instant; integrate() lifts it
+					// into the makespan then quantizes the departure.
+					vm.depart = t0.Add(sim.Duration(span * float64(sim.Second)))
+					done = append(done, id)
+				} else {
+					vm.work -= rate * span
+				}
+			} else if vm.done {
+				span = 0 // budget drained in a prior epoch; idle until boundary
+			}
+			req := float64(vm.vcpus) * vm.demand * span
+			vm.served += req * rho
+			vm.steal += req * (1 - rho)
+		}
+	}
+	return done
+}
+
+// result finalizes counters, percentiles and the canonical snapshot.
+func (m *macroSim) result() *MacroResult {
+	fracs := make([]float64, 0, m.placed)
+	totalSteal := 0.0
+	for i := range m.vms {
+		vm := &m.vms[i]
+		if vm.vcpus == 0 {
+			continue // never placed
+		}
+		totalSteal += vm.steal
+		if tot := vm.steal + vm.served; tot > 0 {
+			fracs = append(fracs, vm.steal/tot)
+		}
+	}
+	sort.Float64s(fracs)
+	p95 := 0.0
+	if len(fracs) > 0 {
+		idx := (len(fracs) * 95) / 100
+		if idx >= len(fracs) {
+			idx = len(fracs) - 1
+		}
+		p95 = fracs[idx]
+	}
+	diMean := 0.0
+	if m.diEpochs > 0 {
+		diMean = m.diSum / float64(m.diEpochs)
+	}
+	return &MacroResult{
+		Policy:          m.cfg.Policy.Name(),
+		Hosts:           len(m.hosts),
+		Arrivals:        len(m.cfg.Trace.VMs),
+		Placed:          m.placed,
+		Rejected:        m.rejected,
+		Lifetimes:       m.departed,
+		Events:          m.events,
+		DIMean:          diMean,
+		DIMax:           m.diMax,
+		Makespan:        m.makespan,
+		P95Steal:        p95,
+		TotalStealHours: totalSteal / 3600,
+		Snapshot:        m.snapshot(),
+		Registry:        m.reg,
+		Telemetry:       m.rec,
+	}
+}
+
+// snapshot encodes final state canonically: every host's commitment, steal
+// EMA and utilization, every VM's steal/served/work bits, and the scalar
+// outcome counters. Two runs that diverge anywhere — one float op, one
+// placement, one departure order — produce different bytes.
+func (m *macroSim) snapshot() []byte {
+	buf := make([]byte, 0, 8*(3*len(m.hosts)+4*len(m.vms)+8))
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	for i := range m.hosts {
+		h := &m.hosts[i]
+		u64(uint64(uint32(h.committed)))
+		f64(h.stealEMA)
+		f64(h.util)
+	}
+	for i := range m.vms {
+		vm := &m.vms[i]
+		f64(vm.steal)
+		f64(vm.served)
+		f64(vm.work)
+		flags := uint64(vm.host) << 8
+		if vm.alive {
+			flags |= 1
+		}
+		if vm.done {
+			flags |= 2
+		}
+		u64(flags)
+	}
+	u64(uint64(m.placed))
+	u64(uint64(m.rejected))
+	u64(uint64(m.departed))
+	u64(uint64(m.makespan))
+	f64(m.diSum)
+	f64(m.diMax)
+	u64(uint64(m.diEpochs))
+	u64(m.events)
+	return buf
+}
+
+// SnapshotDigest returns a short FNV-64a hex digest of a snapshot, for logs
+// and reports.
+func SnapshotDigest(snap []byte) string {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range snap {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// macroSource samples the fleet-wide aggregates after each epoch.
+type macroSource struct{ m *macroSim }
+
+// Collect implements telemetry.Source. Aggregate-only by design: at 1024
+// hosts, per-host series would defeat the recorder's memory bound.
+func (s macroSource) Collect(now sim.Time, emit func(string, float64)) {
+	a := &s.m.agg
+	emit("fleet.macro.vms_alive", a.alive)
+	emit("fleet.macro.committed", a.committed)
+	emit("fleet.macro.util_mean", a.utilMean)
+	emit("fleet.macro.util_max", a.utilMax)
+	emit("fleet.macro.di", a.di)
+	emit("fleet.macro.steal_ema_mean", a.stealEMAMean)
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"vsched/internal/cloudgen"
+	"vsched/internal/sim"
+	"vsched/internal/telemetry"
+)
+
+// macroTestTrace generates a small but non-trivial cloud trace: a few hours,
+// a few dozen heterogeneous hosts, a few thousand VM lifetimes.
+func macroTestTrace(seed int64) cloudgen.Trace {
+	cfg := cloudgen.DefaultConfig()
+	cfg.Horizon = 6 * cloudgen.Hour
+	cfg.BaseRate = 300
+	cfg.Hosts = []cloudgen.HostClass{
+		{Name: "std", Count: 16, Cores: 8, SMT: 2, SpeedFactor: 1.0},
+		{Name: "big", Count: 8, Cores: 16, SMT: 2, SpeedFactor: 1.15},
+		{Name: "small", Count: 8, Cores: 8, SMT: 1, SpeedFactor: 0.9},
+	}
+	return cloudgen.Generate(seed, cfg)
+}
+
+func TestMacroShardedMatchesSerial(t *testing.T) {
+	trace := macroTestTrace(42)
+	for _, pol := range []Policy{FirstFit{}, LeastLoaded{}, StealAware{}} {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			serial := RunMacro(MacroConfig{Trace: trace, Policy: pol, Shards: 1})
+			sharded := RunMacro(MacroConfig{Trace: trace, Policy: pol, Shards: 7})
+			if !bytes.Equal(serial.Snapshot, sharded.Snapshot) {
+				t.Fatalf("serial digest %s != sharded digest %s",
+					SnapshotDigest(serial.Snapshot), SnapshotDigest(sharded.Snapshot))
+			}
+			if serial.Placed == 0 || serial.Lifetimes == 0 {
+				t.Fatalf("degenerate run: placed=%d lifetimes=%d", serial.Placed, serial.Lifetimes)
+			}
+		})
+	}
+}
+
+func TestMacroDeterministic(t *testing.T) {
+	trace := macroTestTrace(7)
+	a := RunMacro(MacroConfig{Trace: trace, Policy: StealAware{}, Shards: 4})
+	b := RunMacro(MacroConfig{Trace: trace, Policy: StealAware{}, Shards: 4})
+	if !bytes.Equal(a.Snapshot, b.Snapshot) {
+		t.Fatalf("two identical runs diverged: %s vs %s",
+			SnapshotDigest(a.Snapshot), SnapshotDigest(b.Snapshot))
+	}
+}
+
+func TestMacroTelemetryInert(t *testing.T) {
+	trace := macroTestTrace(11)
+	bare := RunMacro(MacroConfig{Trace: trace, Policy: LeastLoaded{}, Shards: 2})
+	observed := RunMacro(MacroConfig{
+		Trace: trace, Policy: LeastLoaded{}, Shards: 2,
+		Telemetry: &telemetry.Config{Interval: 30 * sim.Second},
+	})
+	if !bytes.Equal(bare.Snapshot, observed.Snapshot) {
+		t.Fatal("attaching telemetry changed the simulation outcome")
+	}
+	if observed.Telemetry == nil {
+		t.Fatal("telemetry recorder not attached")
+	}
+	snap := observed.Telemetry.Snapshot(false)
+	found := false
+	for _, s := range snap.Series {
+		if s.Name == "fleet.macro.util_mean" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fleet.macro.util_mean series missing from telemetry snapshot")
+	}
+}
+
+func TestMacroAccounting(t *testing.T) {
+	trace := macroTestTrace(3)
+	res := RunMacro(MacroConfig{Trace: trace, Policy: LeastLoaded{}, Shards: 3})
+	if res.Placed+res.Rejected != res.Arrivals {
+		t.Fatalf("placed %d + rejected %d != arrivals %d", res.Placed, res.Rejected, res.Arrivals)
+	}
+	if res.Lifetimes > res.Placed {
+		t.Fatalf("lifetimes %d > placed %d", res.Lifetimes, res.Placed)
+	}
+	if res.DIMean < 0 || res.DIMax < res.DIMean {
+		t.Fatalf("bad DI stats: mean %f max %f", res.DIMean, res.DIMax)
+	}
+	if res.P95Steal < 0 || res.P95Steal > 1 {
+		t.Fatalf("p95 steal %f out of range", res.P95Steal)
+	}
+	if res.Makespan > sim.Time(0).Add(trace.Horizon) {
+		t.Fatalf("makespan %v past horizon %v", res.Makespan, trace.Horizon)
+	}
+	if res.Events == 0 {
+		t.Fatal("no events counted")
+	}
+}
+
+// TestMacroContentionModel pins the analytic model on a hand-built trace:
+// one 4-thread host, two 4-vCPU batch VMs with 100s budgets. Demand 8 on 4
+// threads gives rho=0.5, so each VM finishes its budget at exactly t=200s
+// with a steal fraction of exactly 0.5.
+func TestMacroContentionModel(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 300 * sim.Second,
+		Hosts:   []cloudgen.HostSpec{{Class: "h", Threads: 4, SpeedFactor: 1.0}},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 4, Class: cloudgen.Batch, Demand: 1.0, Work: 100 * sim.Second},
+			{ID: 1, At: 0, VCPUs: 4, Class: cloudgen.Batch, Demand: 1.0, Work: 100 * sim.Second},
+		},
+	}
+	res := RunMacro(MacroConfig{Trace: trace, Policy: FirstFit{}, Overcommit: 2.0})
+	if res.Placed != 2 || res.Rejected != 0 {
+		t.Fatalf("placed %d rejected %d, want 2/0", res.Placed, res.Rejected)
+	}
+	want := sim.Time(0).Add(200 * sim.Second)
+	if res.Makespan != want {
+		t.Fatalf("makespan %v, want %v", res.Makespan, want)
+	}
+	if res.P95Steal != 0.5 {
+		t.Fatalf("p95 steal %f, want exactly 0.5", res.P95Steal)
+	}
+	if res.Lifetimes != 2 {
+		t.Fatalf("lifetimes %d, want 2", res.Lifetimes)
+	}
+}
+
+// TestMacroRejection: a VM larger than every host's admission bound must be
+// rejected without disturbing anything else.
+func TestMacroRejection(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 120 * sim.Second,
+		Hosts:   []cloudgen.HostSpec{{Class: "h", Threads: 4, SpeedFactor: 1.0}},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 64, Class: cloudgen.Service, Demand: 0.3, Lifetime: 60 * sim.Second},
+			{ID: 1, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.3, Lifetime: 60 * sim.Second},
+		},
+	}
+	res := RunMacro(MacroConfig{Trace: trace, Policy: LeastLoaded{}, Overcommit: 2.0})
+	if res.Rejected != 1 || res.Placed != 1 {
+		t.Fatalf("placed %d rejected %d, want 1/1", res.Placed, res.Rejected)
+	}
+	if res.Lifetimes != 1 {
+		t.Fatalf("lifetimes %d, want 1", res.Lifetimes)
+	}
+	// An uncontended service VM accrues zero steal.
+	if res.P95Steal != 0 {
+		t.Fatalf("p95 steal %f, want 0", res.P95Steal)
+	}
+}

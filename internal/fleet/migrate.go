@@ -86,6 +86,7 @@ func (f *Fleet) moveVM(vm *fleetVM, dst int) {
 	d := f.hosts[dst]
 	src.release(vm.threads)
 	src.removeVM(vm)
+	f.reindex(src)
 	newThreads := d.pickThreads(vm.typ.VCPUs)
 	for i, v := range vm.gvm.VCPUs() {
 		ent := v.Entity()
@@ -97,6 +98,7 @@ func (f *Fleet) moveVM(vm *fleetVM, dst int) {
 	vm.threads = newThreads
 	vm.migrating = true
 	d.vms = append(d.vms, vm)
+	f.reindex(d)
 	f.migrations++
 	f.reg.Counter("fleet.migrations").Inc()
 	f.cfg.Tracer.Emit(f.eng.Now(), vtrace.KindVMMigrate, vm.name,

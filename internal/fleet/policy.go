@@ -16,7 +16,12 @@ func (h HostInfo) Fits(vcpus int) bool { return h.Committed+vcpus <= h.Capacity 
 
 // Policy decides where an arriving VM goes. Place returns a host index that
 // Fits the request, or -1 to reject. Implementations must be deterministic
-// pure functions of the snapshot.
+// pure functions of the snapshot: ranked policies break every tie toward the
+// lowest host ID, snapshots arrive in stable host-ID order (never map
+// iteration), and heterogeneous Capacity values must not disturb either
+// property — the cluster may mix host classes (see internal/cloudgen).
+// Policies that also implement IndexedPolicy (see index.go) are placed
+// through a HostIndex in O(log hosts) instead of this linear scan.
 type Policy interface {
 	Name() string
 	Place(hosts []HostInfo, vcpus int) int
@@ -39,8 +44,11 @@ func (FirstFit) Place(hosts []HostInfo, vcpus int) int {
 }
 
 // LeastLoaded spreads (worst-fit): the fitting host with the fewest
-// committed vCPUs wins, ties to the lower index. Balances *promised*
-// capacity, blind to how much of it is actually being fought over.
+// committed vCPUs wins, ties to the lower index — explicitly by absolute
+// commitments, not utilization, so on a heterogeneous fleet equal-committed
+// hosts of different capacities still tie and resolve by host ID. Balances
+// *promised* capacity, blind to how much of it is actually being fought
+// over.
 type LeastLoaded struct{}
 
 func (LeastLoaded) Name() string { return "least-loaded" }
@@ -66,7 +74,9 @@ func (LeastLoaded) Place(hosts []HostInfo, vcpus int) int {
 // is still warming up — without it, an idle-but-overcommitted host would
 // soak up arrivals until the damage shows up in telemetry one EMA late.
 // A batch-heavy host repels new tenants even when its commitment count
-// looks moderate.
+// looks moderate. Utilization is relative to each host's own Capacity, so
+// heterogeneous fleets rank fairly; exact score ties (same steal, same
+// utilization) resolve to the lower host ID via the strict comparison.
 type StealAware struct{}
 
 func (StealAware) Name() string { return "steal-aware" }

@@ -11,7 +11,7 @@ import (
 type ScenarioDelta struct {
 	Name   string     `json:"name"`
 	Engine EngineKind `json:"engine"`
-	Metric string     `json:"metric"` // "events_per_sec" or "vcpu_sec_per_sec"
+	Metric string     `json:"metric"` // "events_per_sec", "vcpu_sec_per_sec" or "lifetimes_per_sec"
 	Old    Stat       `json:"old"`
 	New    Stat       `json:"new"`
 	// DeltaPct is (new-old)/old in percent; positive is faster.
@@ -79,6 +79,7 @@ func Diff(old, cur Result, threshold float64) (DiffResult, error) {
 		}
 		add("events_per_sec", os.EventsPerSec, ns.EventsPerSec)
 		add("vcpu_sec_per_sec", os.VCPUSecPerSec, ns.VCPUSecPerSec)
+		add("lifetimes_per_sec", os.LifetimesPerSec, ns.LifetimesPerSec)
 	}
 	for k := range oldBy {
 		if !matched[k] {

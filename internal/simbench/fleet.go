@@ -1,0 +1,210 @@
+package simbench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"vsched/internal/cloudgen"
+	"vsched/internal/fleet"
+	"vsched/internal/harness"
+	"vsched/internal/metrics"
+)
+
+// The fleet benchmark family (BENCH_fleet.json): throughput of the macro
+// fleet simulator on a generated cloud trace, plus a head-to-head of the
+// placement hot path — tournament-tree HostIndex vs the linear snapshot
+// scan it replaced. Two fleet-specific headline metrics:
+//
+//   - events per wall-clock second on the macro cell (placements,
+//     departures and per-VM epoch integrations);
+//   - completed VM lifetimes per wall-clock second, the figure that says
+//     how much cloud churn a second of CPU simulates.
+//
+// The placement scenarios report pure placement decisions per second, so
+// the recorded artifact documents the index's speedup as a measurement.
+
+// FleetConfig parameterizes RunFleet.
+type FleetConfig struct {
+	BaseSeed int64
+	Reps     int
+	// Smoke shrinks the trace and the churn so CI can exercise the pipeline
+	// in well under a second of benchmark time.
+	Smoke bool
+}
+
+// runMacroCell generates a trace and runs one sharded macro cell, returning
+// (events/s, lifetimes/s).
+func runMacroCell(seed int64, gen cloudgen.Config) (float64, float64) {
+	trace := cloudgen.Generate(seed, gen)
+	start := time.Now()
+	res := fleet.RunMacro(fleet.MacroConfig{Trace: trace, Policy: fleet.StealAware{}, Shards: 8})
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return float64(res.Events) / wall, float64(res.Lifetimes) / wall
+}
+
+// runPlacementChurn measures the placement hot path in isolation: a churn
+// of place/depart/telemetry operations over a heterogeneous fleet, decided
+// either through the HostIndex or the linear snapshot scan. Both paths make
+// identical decisions (pinned by the fleet package's differential test);
+// only the cost differs. Returns placement decisions per wall second.
+func runPlacementChurn(seed int64, hosts, ops int, indexed bool) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pol := fleet.StealAware{}
+	caps := make([]int, hosts)
+	for i := range caps {
+		caps[i] = 16 + 16*rng.Intn(2) // 16 or 32, heterogeneous
+	}
+	snap := make([]fleet.HostInfo, hosts)
+	committed := make([]int, hosts)
+	steal := make([]float64, hosts)
+	for i := range snap {
+		snap[i] = fleet.HostInfo{Index: i, Capacity: caps[i]}
+	}
+	var ix *fleet.HostIndex
+	if indexed {
+		ix = fleet.NewHostIndex(caps)
+	}
+	refresh := func(i int) {
+		snap[i].Committed = committed[i]
+		snap[i].StealRate = steal[i]
+		if indexed {
+			ix.Update(i, committed[i], pol.Score(snap[i]))
+		}
+	}
+	type placed struct{ host, vcpus int }
+	var live []placed
+	placements := 0
+	start := time.Now()
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			v := 1 + rng.Intn(8)
+			var hi int
+			if indexed {
+				hi = pol.PlaceIndexed(ix, v)
+			} else {
+				hi = pol.Place(snap, v)
+			}
+			placements++
+			if hi >= 0 {
+				committed[hi] += v
+				live = append(live, placed{hi, v})
+				refresh(hi)
+			}
+		case r < 9:
+			if len(live) == 0 {
+				continue
+			}
+			k := rng.Intn(len(live))
+			p := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			committed[p.host] -= p.vcpus
+			refresh(p.host)
+		default:
+			i := rng.Intn(hosts)
+			steal[i] = rng.Float64() * 0.4
+			refresh(i)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return float64(placements) / wall
+}
+
+// RunFleet runs the fleet benchmark matrix and aggregates replicate runs
+// into the artifact. Progress lines go to log (may be nil).
+func RunFleet(cfg FleetConfig, log io.Writer) (Result, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	gen := cloudgen.DefaultConfig()
+	churnHosts := 1024
+	churnOps := 400_000
+	if cfg.Smoke {
+		gen.Horizon = 3 * cloudgen.Hour
+		gen.BaseRate = 600
+		for i := range gen.Hosts {
+			gen.Hosts[i].Count /= 16 // 1024 -> 64 hosts
+		}
+		churnHosts = 64
+		churnOps = 40_000
+	}
+	nHosts := 0
+	for _, hc := range gen.Hosts {
+		nHosts += hc.Count
+	}
+	res := Result{
+		Schema:    Schema,
+		Name:      "fleet",
+		BaseSeed:  cfg.BaseSeed,
+		Reps:      cfg.Reps,
+		Smoke:     cfg.Smoke,
+		GoVersion: runtime.Version(),
+	}
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+
+	name := fmt.Sprintf("macro/hosts=%d", nHosts)
+	var eps, lps metrics.Summary
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := harness.DeriveSeed(cfg.BaseSeed, "simbench/"+name, rep)
+		e, l := runMacroCell(seed, gen)
+		eps.Add(e)
+		lps.Add(l)
+	}
+	logf("%-28s %-5s %.3g events/s, %.3g lifetimes/s\n", name, Wheel, eps.Mean(), lps.Mean())
+	res.Scenarios = append(res.Scenarios, ScenarioResult{
+		Name: name, Engine: Wheel,
+		EventsPerSec:    statOf(eps),
+		LifetimesPerSec: statOf(lps),
+	})
+
+	for _, indexed := range []bool{false, true} {
+		variant := "placement_scan"
+		if indexed {
+			variant = "placement_index"
+		}
+		name := fmt.Sprintf("%s/hosts=%d", variant, churnHosts)
+		var pps metrics.Summary
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := harness.DeriveSeed(cfg.BaseSeed, "simbench/"+name, rep)
+			pps.Add(runPlacementChurn(seed, churnHosts, churnOps, indexed))
+		}
+		logf("%-28s %-5s %.3g placements/s\n", name, Wheel, pps.Mean())
+		res.Scenarios = append(res.Scenarios, ScenarioResult{
+			Name: name, Engine: Wheel, EventsPerSec: statOf(pps),
+		})
+	}
+	return res, nil
+}
+
+// IndexSpeedup returns the placement_index-over-placement_scan throughput
+// ratio, or ok=false when either cell is missing.
+func (r Result) IndexSpeedup() (float64, bool) {
+	var scan, index float64
+	for _, s := range r.Scenarios {
+		switch {
+		case strings.HasPrefix(s.Name, "placement_index"):
+			index = s.EventsPerSec.Mean
+		case strings.HasPrefix(s.Name, "placement_scan"):
+			scan = s.EventsPerSec.Mean
+		}
+	}
+	if scan == 0 || index == 0 {
+		return 0, false
+	}
+	return index / scan, true
+}

@@ -1,0 +1,89 @@
+package simbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFleetSmoke runs the fleet family at smoke size and checks the
+// artifact shape: the macro scenario with both headline metrics, the two
+// placement variants, and a round-trippable encoding.
+func TestRunFleetSmoke(t *testing.T) {
+	var log bytes.Buffer
+	res, err := RunFleet(FleetConfig{BaseSeed: 42, Reps: 1, Smoke: true}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "fleet" || !res.Smoke {
+		t.Fatalf("bad artifact header: name=%q smoke=%v", res.Name, res.Smoke)
+	}
+	var macro, scan, index bool
+	for _, s := range res.Scenarios {
+		switch {
+		case strings.HasPrefix(s.Name, "macro/"):
+			macro = true
+			if s.EventsPerSec.N == 0 || s.LifetimesPerSec.N == 0 {
+				t.Fatalf("macro scenario missing metrics: %+v", s)
+			}
+			if s.LifetimesPerSec.Mean <= 0 {
+				t.Fatalf("macro lifetimes/s %.3g, want > 0", s.LifetimesPerSec.Mean)
+			}
+		case strings.HasPrefix(s.Name, "placement_scan/"):
+			scan = true
+		case strings.HasPrefix(s.Name, "placement_index/"):
+			index = true
+		}
+	}
+	if !macro || !scan || !index {
+		t.Fatalf("missing scenarios (macro=%v scan=%v index=%v): %+v", macro, scan, index, res.Scenarios)
+	}
+	if _, ok := res.IndexSpeedup(); !ok {
+		t.Fatal("IndexSpeedup not computable")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != len(res.Scenarios) {
+		t.Fatalf("round trip lost scenarios: %d vs %d", len(back.Scenarios), len(res.Scenarios))
+	}
+	if log.Len() == 0 {
+		t.Fatal("no progress log")
+	}
+}
+
+// TestDiffLifetimesMetric pins that the diff gate covers the fleet family's
+// lifetimes_per_sec metric.
+func TestDiffLifetimesMetric(t *testing.T) {
+	mk := func(lps float64) Result {
+		return Result{
+			Schema: Schema, Name: "fleet", BaseSeed: 1, Reps: 1, GoVersion: "go",
+			Scenarios: []ScenarioResult{{
+				Name: "macro/hosts=64", Engine: Wheel,
+				EventsPerSec:    Stat{Mean: 100, N: 1},
+				LifetimesPerSec: Stat{Mean: lps, N: 1},
+			}},
+		}
+	}
+	d, err := Diff(mk(1000), mk(500), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range d.Deltas {
+		if s.Metric == "lifetimes_per_sec" {
+			found = true
+			if !s.Regressed {
+				t.Fatal("50% lifetimes/s drop not flagged as regression")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("lifetimes_per_sec not diffed")
+	}
+}

@@ -106,6 +106,9 @@ type ScenarioResult struct {
 	// VCPUSecPerSec is simulated vCPU-seconds per wall-clock second; only
 	// macro scenarios report it (zero N otherwise).
 	VCPUSecPerSec Stat `json:"vcpu_sec_per_sec,omitempty"`
+	// LifetimesPerSec is completed VM lifetimes simulated per wall-clock
+	// second; only the fleet family's macro scenario reports it.
+	LifetimesPerSec Stat `json:"lifetimes_per_sec,omitempty"`
 }
 
 // Result is the full benchmark artifact (BENCH_core.json).
