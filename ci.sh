@@ -31,8 +31,8 @@ go build ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/..."
-go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/...
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/faults/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/faults/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/...
 
 # Engine differential suite under the race detector, explicitly and never
 # -short: the timing-wheel engine must match the retained heap engine
@@ -105,5 +105,17 @@ echo "== fleetobs telemetry determinism smoke"
 /tmp/vexp_ci -run fleetobs -scale 0.1 -seed 7 -telemetry > /tmp/vexp_fleetobs_b.txt
 cmp /tmp/vexp_fleetobs_a.txt /tmp/vexp_fleetobs_b.txt
 rm -f /tmp/vexp_ci /tmp/vexp_fleetobs_a.txt /tmp/vexp_fleetobs_b.txt
+
+# Fault-tolerance smoke: the faulttol experiment embeds three panic gates
+# (serial==sharded snapshot bytes with faults active, recovery strictly
+# beating no-recovery on completed lifetimes, exact VM conservation). On top
+# of finishing at full scale — 1024 hosts, 48 h, the whole crash/brownout/
+# stall schedule — two same-seed runs must be byte-identical.
+echo "== faulttol byte-identity smoke (full scale)"
+go build -o /tmp/vexp_ci ./cmd/experiments
+/tmp/vexp_ci -run faulttol -seed 42 > /tmp/vexp_faulttol_a.txt
+/tmp/vexp_ci -run faulttol -seed 42 > /tmp/vexp_faulttol_b.txt
+cmp /tmp/vexp_faulttol_a.txt /tmp/vexp_faulttol_b.txt
+rm -f /tmp/vexp_ci /tmp/vexp_faulttol_a.txt /tmp/vexp_faulttol_b.txt
 
 echo "CI OK"

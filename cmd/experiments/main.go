@@ -10,6 +10,7 @@
 //	experiments -run all -parallel 8        # fan out over 8 workers
 //	experiments -run all -reps 5            # 5 replicate seeds, mean±stddev cells
 //	experiments -run all -timeout 10m       # per-trial wall-clock budget
+//	experiments -run all -retries 2         # re-attempt timed-out/panicked trials
 //	experiments -run all -out run.jsonl     # JSON-lines artifact with metadata
 //	experiments -bench core -reps 5         # engine benchmark -> BENCH_core.json
 //	experiments -bench fleet -reps 3        # fleet/placement benchmark -> BENCH_fleet.json
@@ -57,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel  = fs.Int("parallel", 1, "worker pool size (1 = serial reference path)")
 		reps      = fs.Int("reps", 1, "replicate seeds per experiment; >1 adds mean±stddev [min,max] cells")
 		timeout   = fs.Duration("timeout", 0, "per-trial wall-clock budget (0 = none)")
+		retries   = fs.Int("retries", 0, "extra attempts per trial after a panic or timeout (0 = fail fast)")
 		out       = fs.String("out", "", "write a JSON-lines run artifact (seeds, wall time, events, reports)")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -119,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Verbose:  *verbose,
 		Workers:  *parallel,
 		Timeout:  *timeout,
+		Retries:  *retries,
 	})
 
 	if *out != "" {

@@ -22,6 +22,7 @@ import (
 
 	"vsched"
 	"vsched/internal/cloudgen"
+	"vsched/internal/faults"
 	"vsched/internal/latprof"
 	"vsched/internal/profiling"
 	"vsched/internal/telemetry"
@@ -62,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsOut   = fs.Bool("metrics", false, "print the VM metrics registry snapshot at the end")
 		attrib       = fs.Bool("attrib", false, "print a per-cause latency attribution of the measurement window (adds an attribution track to -trace)")
 		telem        = fs.Bool("telemetry", false, "sample a flight recorder over the run: sparkline summary at the end, counter tracks in -trace")
+		stallDur     = fs.Duration("stall", 0, "inject a transient host stall of this length (freezes every vCPU; shows up as steal and in -trace)")
+		stallAt      = fs.Duration("stallat", 0, "virtual-time offset of the injected stall (0 = midway through the measurement window)")
 		cpuProf      = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf      = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -194,6 +197,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	warm := vsched.Duration(warmup.Nanoseconds())
 	window := vsched.Duration(duration.Nanoseconds())
+
+	// The single-host cousin of the fleet fault plane (internal/faults): a
+	// transient stall blocks every vCPU entity at a chosen instant and wakes
+	// them after, so the guest sees a hard steal burst — handy for watching
+	// how the probers and bvs re-converge after degraded-signal windows.
+	if *stallDur > 0 {
+		at := vsched.Duration(stallAt.Nanoseconds())
+		if at <= 0 {
+			at = warm + window/2
+		}
+		d := vsched.Duration(stallDur.Nanoseconds())
+		eng := cl.Engine()
+		eng.After(at, func() {
+			if tracer != nil {
+				tracer.Emit(eng.Now(), vtrace.KindHostFault, "host", int64(faults.Stall), int64(d), 0)
+			}
+			for i := 0; i < vm.NumVCPUs(); i++ {
+				vm.VCPU(i).Entity().Block()
+			}
+			eng.After(d, func() {
+				for i := 0; i < vm.NumVCPUs(); i++ {
+					vm.VCPU(i).Entity().Wake()
+				}
+				if tracer != nil {
+					tracer.Emit(eng.Now(), vtrace.KindHostRecover, "host", int64(faults.Stall), 0, 0)
+				}
+			})
+		})
+		fmt.Fprintf(stderr, "stall armed: %v at t=%v\n", *stallDur, time.Duration(at))
+	}
 	if *watch {
 		watchLoop(stdout, cl, vm, sched, warm+window)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -240,5 +241,39 @@ func TestTelemetryFlag(t *testing.T) {
 	}
 	if counters == 0 {
 		t.Fatal("trace has no counter events despite -telemetry")
+	}
+}
+
+// TestStallFlag: an injected host stall must cost throughput but not wedge
+// the run — the vCPUs wake after the window and the scenario completes.
+func TestStallFlag(t *testing.T) {
+	base := []string{"-workload", "nginx", "-vcpus", "2",
+		"-duration", "2s", "-warmup", "500ms", "-seed", "7"}
+	runOps := func(extra ...string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run(append(append([]string{}, base...), extra...), &stdout, &stderr); code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if strings.HasPrefix(line, "ops=") {
+				return line
+			}
+		}
+		t.Fatalf("no ops line in output:\n%s", stdout.String())
+		return ""
+	}
+	clean := runOps()
+	stalled := runOps("-stall", "1s")
+	if clean == stalled {
+		t.Fatalf("stall did not change throughput: %s", stalled)
+	}
+	var cleanOps, stalledOps int
+	fmt.Sscanf(clean, "ops=%d", &cleanOps)
+	fmt.Sscanf(stalled, "ops=%d", &stalledOps)
+	if stalledOps <= 0 || stalledOps >= cleanOps {
+		t.Fatalf("stalled ops %d, want in (0, %d)", stalledOps, cleanOps)
+	}
+	if again := runOps("-stall", "1s"); again != stalled {
+		t.Fatalf("stalled run not deterministic: %q vs %q", again, stalled)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"math"
 	"math/rand"
 
+	"vsched/internal/faults"
 	"vsched/internal/sim"
 )
 
@@ -115,6 +116,12 @@ type Config struct {
 	Hosts         []HostClass
 	// MaxVMs caps the trace length (0 = uncapped).
 	MaxVMs int
+	// Faults, when non-nil, also generates a host fault schedule for the
+	// expanded fleet (see internal/faults). faults.Generate draws from its
+	// own per-(host, kind) sub-streams keyed off the trace seed — nothing is
+	// consumed from the arrival stream, so the VM trace is byte-identical
+	// with faults on or off (the golden digest test pins this).
+	Faults *faults.Config
 }
 
 // Hour is one simulated hour.
@@ -202,6 +209,10 @@ type Trace struct {
 	Horizon sim.Duration
 	Hosts   []HostSpec
 	VMs     []VM
+	// Faults is the host fault schedule when Config.Faults was set; nil
+	// otherwise. Generated from an independent stream: the VM sequence above
+	// is identical either way.
+	Faults *faults.Schedule
 }
 
 // TotalThreads sums hardware threads across the fleet.
@@ -337,6 +348,10 @@ func Generate(seed int64, cfg Config) Trace {
 		}
 		tr.VMs = append(tr.VMs, vm)
 		id++
+	}
+	if cfg.Faults != nil {
+		s := faults.Generate(seed, len(tr.Hosts), cfg.Horizon, *cfg.Faults)
+		tr.Faults = &s
 	}
 	return tr
 }

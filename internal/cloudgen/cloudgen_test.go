@@ -8,6 +8,7 @@ import (
 	"sort"
 	"testing"
 
+	"vsched/internal/faults"
 	"vsched/internal/sim"
 )
 
@@ -325,5 +326,34 @@ func TestValidatePanics(t *testing.T) {
 			}()
 			Generate(1, cfg)
 		}()
+	}
+}
+
+// TestFaultScheduleIndependent: turning faults on must not perturb the VM or
+// host sequences (the fault generator draws from its own sub-streams), and
+// the schedule itself must be deterministic and non-empty at these MTBFs.
+func TestFaultScheduleIndependent(t *testing.T) {
+	plain := smallConfig()
+	faulty := smallConfig()
+	faulty.Faults = &faults.Config{
+		CrashMTBF:    6 * Hour,
+		BrownoutMTBF: 4 * Hour,
+		StallMTBF:    2 * Hour,
+		MigFailProb:  0.1,
+	}
+	a := Generate(7, plain)
+	b := Generate(7, faulty)
+	if !reflect.DeepEqual(a.VMs, b.VMs) || !reflect.DeepEqual(a.Hosts, b.Hosts) {
+		t.Fatal("enabling faults changed the VM/host trace")
+	}
+	if a.Faults != nil {
+		t.Fatal("fault schedule present without Config.Faults")
+	}
+	if b.Faults == nil || len(b.Faults.Events) == 0 {
+		t.Fatal("Config.Faults set but no schedule generated")
+	}
+	c := Generate(7, faulty)
+	if !reflect.DeepEqual(b.Faults, c.Faults) {
+		t.Fatal("same seed produced different fault schedules")
 	}
 }

@@ -364,6 +364,7 @@ func Registry() []Runner {
 		{"attrib", "Latency attribution: per-cause wall-time breakdown by config", Attrib},
 		{"fleetobs", "Telemetry flight recorder: determinism, memory bound, steal signal", FleetObs},
 		{"fleetscale", "Cloud-scale placement: 1024-host heterogeneous fleet on a generated trace", CloudScale},
+		{"faulttol", "Fault tolerance: deterministic crash/brownout schedule, recovery vs loss", FaultTol},
 	}
 }
 

@@ -28,16 +28,16 @@ import (
 // determinism gate that keeps the sharded fast path honest. The sharded run
 // also carries a telemetry recorder, which must not perturb the bytes
 // either.
-func CloudScale(o Options) *Report {
+// scaledCloudConfig shrinks the default cloudgen trace for -scale < 1 with
+// floors that keep the scenario meaningful: heterogeneous hosts, thousands
+// of lifetimes, several diurnal-scale hours. Shared by the fleetscale and
+// faulttol experiments so both see the same fleet at a given scale.
+func scaledCloudConfig(scale float64) cloudgen.Config {
 	cfg := cloudgen.DefaultConfig()
-	scale := o.Scale
 	if scale <= 0 {
 		scale = 1
 	}
 	if scale < 1 {
-		// Shrink every axis with floors that keep the scenario meaningful:
-		// heterogeneous hosts, thousands of lifetimes, several diurnal-scale
-		// hours.
 		if h := sim.Duration(float64(cfg.Horizon) * scale); h >= 3*cloudgen.Hour {
 			cfg.Horizon = h
 		} else {
@@ -54,7 +54,11 @@ func CloudScale(o Options) *Report {
 			}
 		}
 	}
-	trace := cloudgen.Generate(o.Seed, cfg)
+	return cfg
+}
+
+func CloudScale(o Options) *Report {
+	trace := cloudgen.Generate(o.Seed, scaledCloudConfig(o.Scale))
 
 	tcfg := telemetry.Config{Interval: 60 * sim.Second}
 

@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"testing"
+
+	"vsched/internal/faults"
+	"vsched/internal/host"
+	"vsched/internal/sim"
+)
+
+// fastRecovery is a retry policy scaled to millisecond test horizons (the
+// defaults are sized for 48-hour fleet runs).
+func fastRecovery() faults.RecoveryConfig {
+	return faults.RecoveryConfig{
+		Enabled:     true,
+		MaxRetries:  5,
+		BaseBackoff: 50 * sim.Millisecond,
+		MaxBackoff:  200 * sim.Millisecond,
+	}
+}
+
+// TestFleetCrashRecovery: a mid-run host crash kills its residents; without
+// recovery they are terminally lost, with recovery they restart elsewhere and
+// produce strictly more work. Conservation is enforced by collect (it panics
+// on imbalance), so merely finishing the runs asserts the ledger.
+func TestFleetCrashRecovery(t *testing.T) {
+	sched := &faults.Schedule{Seed: 1, Events: []faults.Event{
+		{At: sim.Time(0).Add(600 * sim.Millisecond), Host: 0, Kind: faults.Crash,
+			Duration: 1000 * sim.Millisecond},
+	}}
+	mk := func(rcv faults.RecoveryConfig) *Result {
+		cfg := testConfig(7, FirstFit{}, false)
+		cfg.Faults = sched
+		cfg.Recovery = rcv
+		return New(cfg).Run()
+	}
+	base := mk(faults.RecoveryConfig{})
+	if base.Crashes != 1 || base.Killed == 0 {
+		t.Fatalf("crashes=%d killed=%d, want 1/>0", base.Crashes, base.Killed)
+	}
+	if base.Lost != base.Killed || base.Restarts != 0 {
+		t.Fatalf("no-recovery lost=%d restarts=%d, want killed=%d lost, 0 restarts",
+			base.Lost, base.Restarts, base.Killed)
+	}
+
+	res := mk(fastRecovery())
+	if res.Killed != base.Killed {
+		t.Fatalf("recovery changed the kill count: %d vs %d (pre-crash state must match)",
+			res.Killed, base.Killed)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("recovery produced no restarts")
+	}
+	if res.Ops <= base.Ops {
+		t.Fatalf("recovery ops %d not better than no-recovery %d", res.Ops, base.Ops)
+	}
+	if res.Availability >= 1 || res.Availability <= 0 {
+		t.Fatalf("availability %v, want in (0,1) after an outage", res.Availability)
+	}
+	if res.MTTRMean <= 0 || res.MTTRMax < res.MTTRMean {
+		t.Fatalf("bad MTTR stats: mean %v max %v", res.MTTRMean, res.MTTRMax)
+	}
+
+	again := mk(fastRecovery())
+	if res.Events != again.Events || res.Ops != again.Ops || res.Steal != again.Steal ||
+		res.Restarts != again.Restarts || res.Lost != again.Lost {
+		t.Fatalf("faulted rerun diverged:\n%+v\nvs\n%+v", res, again)
+	}
+}
+
+// TestFleetStallFreezes: a stall blocks every resident entity for its
+// duration — less work gets done, nobody dies, and the VMs resume after.
+func TestFleetStallFreezes(t *testing.T) {
+	bt := VMType{Name: "b", VCPUs: 2, BatchWork: sim.Millisecond}
+	mk := func(sched *faults.Schedule) *Result {
+		return New(Config{
+			Seed: 3, Hosts: 1, HostConfig: testHostConfig(), Overcommit: 2.0,
+			Policy: FirstFit{},
+			Arrivals: []Arrival{
+				{ID: 0, Type: bt, At: 0},
+				{ID: 1, Type: bt, At: 0},
+			},
+			Horizon: 2000 * sim.Millisecond,
+			Faults:  sched,
+		}).Run()
+	}
+	clean := mk(nil)
+	res := mk(&faults.Schedule{Seed: 1, Events: []faults.Event{
+		{At: sim.Time(0).Add(500 * sim.Millisecond), Host: 0, Kind: faults.Stall,
+			Duration: 500 * sim.Millisecond},
+	}})
+	if res.Stalls != 1 || res.Killed != 0 || res.Lost != 0 {
+		t.Fatalf("stalls=%d killed=%d lost=%d, want 1/0/0", res.Stalls, res.Killed, res.Lost)
+	}
+	if res.Ops >= clean.Ops {
+		t.Fatalf("stalled ops %d not below clean %d", res.Ops, clean.Ops)
+	}
+	if res.Ops == 0 {
+		t.Fatal("stall killed all progress; VMs must resume after the window")
+	}
+	if res.Departed != 0 || res.Placed != 2 {
+		t.Fatalf("departed=%d placed=%d, want 0/2 (pinned VMs survive)", res.Departed, res.Placed)
+	}
+}
+
+// TestFleetBrownoutEvacuation: a brownout shrinks the host below its
+// commitment and recovery live-migrates the newest VM off until it fits.
+func TestFleetBrownoutEvacuation(t *testing.T) {
+	bt := VMType{Name: "b", VCPUs: 2, BatchWork: sim.Millisecond}
+	cfg := Config{
+		Seed: 5, Hosts: 2, HostConfig: testHostConfig(), Overcommit: 2.0,
+		Policy: FirstFit{},
+		Arrivals: []Arrival{
+			{ID: 0, Type: bt, At: 0},
+			{ID: 1, Type: bt, At: 0},
+			{ID: 2, Type: bt, At: 0},
+		},
+		Horizon:   1500 * sim.Millisecond,
+		Migration: MigrationConfig{Downtime: 5 * sim.Millisecond},
+		Faults: &faults.Schedule{Seed: 1, Events: []faults.Event{
+			{At: sim.Time(0).Add(500 * sim.Millisecond), Host: 0, Kind: faults.Brownout,
+				Duration: 500 * sim.Millisecond, Factor: 0.5},
+		}},
+		Recovery: fastRecovery(),
+	}
+	f := New(cfg)
+	res := f.Run()
+	if res.Brownouts != 1 || res.Evacuations != 1 || res.EvacFailures != 0 {
+		t.Fatalf("brownouts=%d evacuations=%d failures=%d, want 1/1/0",
+			res.Brownouts, res.Evacuations, res.EvacFailures)
+	}
+	if res.Killed != 0 || res.Lost != 0 {
+		t.Fatalf("killed=%d lost=%d, want 0/0 (brownouts don't kill)", res.Killed, res.Lost)
+	}
+	if res.Migrations < res.Evacuations {
+		t.Fatalf("evacuations (%d) must be counted in migrations (%d)",
+			res.Evacuations, res.Migrations)
+	}
+	// The evacuee's entities must really live on host 1's threads.
+	moved := 0
+	for _, vm := range f.vms {
+		if vm.hostIdx != 1 {
+			continue
+		}
+		moved++
+		hs := f.hosts[1]
+		for i, v := range vm.gvm.VCPUs() {
+			if v.Entity().Thread() != hs.h.Thread(vm.threads[i]) {
+				t.Fatalf("%s vCPU %d entity on wrong thread after evacuation", vm.name, i)
+			}
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("%d VMs on the evacuation target, want 1", moved)
+	}
+}
+
+// TestMigrationCooldownStopsPingPong reproduces the hotspot flip: the steal
+// EMA peak moves from host 0 to host 1 between two controller passes, and
+// without a cooldown the controller shuttles the same VM straight back.
+func TestMigrationCooldownStopsPingPong(t *testing.T) {
+	bt := VMType{Name: "b", VCPUs: 2, BatchWork: sim.Millisecond}
+	mk := func(cool sim.Duration) *Fleet {
+		f := New(Config{
+			Seed: 1, Hosts: 2, HostConfig: testHostConfig(), Overcommit: 2.0,
+			Policy:  FirstFit{},
+			Horizon: 300 * sim.Millisecond,
+			Migration: MigrationConfig{
+				MinSteal: 0.05, Margin: 0.02,
+				Downtime: sim.Millisecond, Cooldown: cool,
+			},
+		})
+		f.eng.At(0, func() {
+			f.arrive(Arrival{ID: 0, Type: bt, At: 0})
+			f.arrive(Arrival{ID: 1, Type: bt, At: 0})
+		})
+		flip := func(hot int) func() {
+			return func() {
+				f.hosts[hot].stealEMA, f.hosts[1-hot].stealEMA = 0.5, 0
+				f.migrateOnce()
+			}
+		}
+		f.eng.At(sim.Time(0).Add(100*sim.Millisecond), flip(0))
+		f.eng.At(sim.Time(0).Add(200*sim.Millisecond), flip(1))
+		f.eng.RunFor(300 * sim.Millisecond)
+		return f
+	}
+	if got := mk(0).migrations; got != 2 {
+		t.Fatalf("without cooldown: %d migrations, want 2 (the ping-pong)", got)
+	}
+	if got := mk(300 * sim.Millisecond).migrations; got != 1 {
+		t.Fatalf("with cooldown: %d migrations, want 1 (return trip damped)", got)
+	}
+}
+
+// TestMigrationWhileExiting: a VM departs inside its stop-and-copy window.
+// The pending wake must not resurrect it — entities stay blocked, occupancy
+// stays released, and the departure counts exactly once.
+func TestMigrationWhileExiting(t *testing.T) {
+	bt := VMType{Name: "b", VCPUs: 2, BatchWork: sim.Millisecond}
+	f := New(Config{
+		Seed: 1, Hosts: 2, HostConfig: testHostConfig(), Overcommit: 2.0,
+		Policy:    FirstFit{},
+		Horizon:   100 * sim.Millisecond,
+		Migration: MigrationConfig{Downtime: 20 * sim.Millisecond},
+	})
+	f.eng.At(0, func() { f.arrive(Arrival{ID: 0, Type: bt, At: 0}) })
+	f.eng.At(sim.Time(0).Add(10*sim.Millisecond), func() { f.moveVM(f.vms[0], 1) })
+	f.eng.At(sim.Time(0).Add(15*sim.Millisecond), func() { f.depart(f.vms[0]) })
+	f.eng.RunFor(100 * sim.Millisecond)
+	vm := f.vms[0]
+	if vm.alive || f.departed != 1 || f.migrations != 1 {
+		t.Fatalf("alive=%v departed=%d migrations=%d, want false/1/1",
+			vm.alive, f.departed, f.migrations)
+	}
+	for _, hs := range f.hosts {
+		if hs.committed != 0 || len(hs.vms) != 0 {
+			t.Fatalf("host %d still holds committed=%d vms=%d after exit",
+				hs.index, hs.committed, len(hs.vms))
+		}
+	}
+	// The downtime-end wake fired after the depart and must have left the
+	// blocked entities alone.
+	for i, v := range vm.gvm.VCPUs() {
+		if v.Entity().State() != host.Blocked {
+			t.Fatalf("vCPU %d woke after its VM exited: state %v", i, v.Entity().State())
+		}
+	}
+}
+
+// TestFleetFaultShardedMatchesSerial: micro cells with the fault plane active
+// still shard with results identical to a serial run.
+func TestFleetFaultShardedMatchesSerial(t *testing.T) {
+	sched := &faults.Schedule{Seed: 9, Events: []faults.Event{
+		{At: sim.Time(0).Add(400 * sim.Millisecond), Host: 0, Kind: faults.Crash,
+			Duration: 800 * sim.Millisecond},
+		{At: sim.Time(0).Add(700 * sim.Millisecond), Host: 1, Kind: faults.Brownout,
+			Duration: 600 * sim.Millisecond, Factor: 0.5},
+		{At: sim.Time(0).Add(900 * sim.Millisecond), Host: 2, Kind: faults.Stall,
+			Duration: 300 * sim.Millisecond},
+	}}
+	var cfgs []Config
+	for _, pol := range []Policy{FirstFit{}, StealAware{}} {
+		cfg := testConfig(42, pol, false)
+		cfg.Faults = sched
+		cfg.Recovery = fastRecovery()
+		cfgs = append(cfgs, cfg)
+	}
+	serial := RunAll(cfgs, 1, nil)
+	parallel := RunAll(cfgs, 4, nil)
+	for i := range cfgs {
+		s, p := serial[i], parallel[i]
+		if s.Ops != p.Ops || s.Steal != p.Steal || s.Events != p.Events ||
+			s.Killed != p.Killed || s.Restarts != p.Restarts || s.Lost != p.Lost ||
+			s.Evacuations != p.Evacuations || s.Availability != p.Availability {
+			t.Fatalf("faulted cell %d differs between serial and sharded runs:\n%+v\nvs\n%+v",
+				i, s, p)
+		}
+		if s.Killed == 0 {
+			t.Fatalf("cell %d: crash killed nothing; rig too quiet", i)
+		}
+	}
+}

@@ -19,10 +19,12 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"vsched/internal/cachemodel"
 	"vsched/internal/core"
+	"vsched/internal/faults"
 	"vsched/internal/guest"
 	"vsched/internal/host"
 	"vsched/internal/latprof"
@@ -78,6 +80,16 @@ type Config struct {
 	// recorder after Run. Observation only, like Attribution: the simulation
 	// is byte-identical with it on or off.
 	Telemetry *telemetry.Config
+	// Faults, when non-nil, injects the host fault schedule (see
+	// internal/faults and faultplane.go): crashes kill resident VMs and take
+	// the host out of admission, brownouts shrink its capacity, stalls freeze
+	// its entities. Events fire at their exact scheduled instants.
+	Faults *faults.Schedule
+	// Recovery enables the reaction to faults: crash victims re-place through
+	// a bounded retry queue with capped exponential backoff, and VMs on
+	// degraded hosts evacuate by live migration. Disabled, crash victims are
+	// terminally lost — the graceful-degradation baseline.
+	Recovery faults.RecoveryConfig
 }
 
 // MigrationConfig tunes the live-migration controller: every Every it looks
@@ -90,6 +102,10 @@ type MigrationConfig struct {
 	MinSteal float64
 	Margin   float64
 	Downtime sim.Duration
+	// Cooldown excludes a VM from migrant selection for this long after it
+	// moved, damping ping-pong when a hotspot flips between two hosts faster
+	// than the steal EMAs settle. Zero disables the guard.
+	Cooldown sim.Duration
 }
 
 // Result is the fully-aggregated outcome of one cell.
@@ -123,6 +139,22 @@ type Result struct {
 	// Telemetry is the cell's flight recorder when Config.Telemetry was set;
 	// nil otherwise.
 	Telemetry *telemetry.Recorder
+	// Fault-plane outcome (all zero without Config.Faults). Killed counts VM
+	// kills by host crashes, Restarts successful re-placements, Lost terminal
+	// losses, Evacuations brownout-driven moves (also counted in Migrations),
+	// EvacFailures attempts the migration-failure law aborted, PendingAtEnd
+	// victims still awaiting restart at the horizon. Conservation holds
+	// exactly: Placed == Departed + Lost + PendingAtEnd + VMs alive at the
+	// horizon (collect panics otherwise).
+	Crashes, Brownouts, Stalls int
+	Killed, Restarts, Lost     int
+	Evacuations, EvacFailures  int
+	PendingAtEnd               int
+	// Availability is committed vCPU-seconds over committed plus crash-outage
+	// vCPU-seconds (1.0 when nothing crashed); MTTRMean/MTTRMax summarize
+	// restart time-to-recover in seconds.
+	Availability      float64
+	MTTRMean, MTTRMax float64
 }
 
 // hostState is one host plus the fleet's bookkeeping about it. Occupancy is
@@ -135,6 +167,12 @@ type hostState struct {
 	committed int
 	vms       []*fleetVM
 	stealEMA  float64
+	// Fault windows (faultplane.go): the host is out of admission while
+	// downUntil > now and shrunk to degradeFactor x capacity while
+	// degradedUntil > now. Never set without Config.Faults.
+	downUntil     sim.Time
+	degradedUntil sim.Time
+	degradeFactor float64
 	// attribVMs are the VMs *created* on this host, when attribution is on.
 	// Entity state-change notifications always fire on the creation host's
 	// observer list (host.Entity keeps its birth host even across live
@@ -161,6 +199,15 @@ type fleetVM struct {
 	// migrating marks the stop-and-copy brownout window so the controller
 	// never double-moves a VM in flight.
 	migrating bool
+	// moved/lastMove feed the migration cooldown: a VM is exempt from
+	// migrant selection for Migration.Cooldown after it last moved.
+	moved    bool
+	lastMove sim.Time
+	// deadline is the VM's scheduled departure instant (zero = pinned to the
+	// horizon); restarts after a crash keep the original deadline.
+	deadline sim.Time
+	// restarts is which crash-restart incarnation this is (0 = original).
+	restarts int
 	// stealSeen is the telemetry baseline: total steal across the VM's
 	// vCPUs at the last sample, attributed to whichever host it sat on.
 	stealSeen sim.Duration
@@ -186,6 +233,27 @@ type Fleet struct {
 	placed, rejected, departed, migrations int
 	reg                                    *metrics.Registry
 	rec                                    *telemetry.Recorder
+
+	// Fault plane (faultplane.go). rcv is the resolved recovery policy,
+	// pending the bounded restart queue, migAttempts the deterministic
+	// counter feeding the migration-failure law.
+	rcv         faults.RecoveryConfig
+	pending     []*microRetry
+	migAttempts uint64
+
+	crashes, brownouts, stalls int
+	killed, restarts, lost     int
+	evacuations, evacFailures  int
+
+	// Availability ledger: the committed-vCPU integral (up) accrues at every
+	// commitment change; the outage side (down) accrues per crash victim at
+	// restart, loss or the horizon.
+	totCommitted    int
+	lastCommChange  sim.Time
+	upVCPUSeconds   float64
+	downVCPUSeconds float64
+	ttrSum, ttrMax  float64
+	ttrCount        int
 }
 
 // New builds the cluster. The engine is exposed before Run so callers
@@ -204,6 +272,9 @@ func New(cfg Config) *Fleet {
 		cfg.TelemetryEvery = 50 * sim.Millisecond
 	}
 	f := &Fleet{cfg: cfg, eng: sim.NewEngine(cfg.Seed), reg: metrics.NewRegistry()}
+	if cfg.Recovery.Enabled {
+		f.rcv = cfg.Recovery.WithDefaults()
+	}
 	for i := 0; i < cfg.Hosts; i++ {
 		h := host.New(f.eng, cfg.HostConfig)
 		vtrace.AttachHost(cfg.Tracer, h)
@@ -238,23 +309,34 @@ func New(cfg Config) *Fleet {
 	return f
 }
 
-// info renders one host's policy snapshot row.
+// info renders one host's policy snapshot row. Capacity is the effective
+// (fault-adjusted) bound, so policies steer around crashed and degraded hosts
+// without knowing about faults.
 func (f *Fleet) info(hs *hostState) HostInfo {
 	return HostInfo{
 		Index:     hs.index,
 		Committed: hs.committed,
-		Capacity:  f.capacity(),
+		Capacity:  f.effCap(hs),
 		VMs:       len(hs.vms),
 		StealRate: hs.stealEMA,
 	}
 }
 
 // reindex refreshes one host's leaf in the placement index after its
-// commitments or telemetry changed. No-op on the linear path.
+// commitments, telemetry or fault windows changed. The index tracks free
+// space against the configured leaf capacity, so degraded capacity is folded
+// in by inflating committed with the lost headroom; a down host scores +Inf
+// (never NaN — NaN would poison BestScore pruning). No-op on the linear path.
 func (f *Fleet) reindex(hs *hostState) {
-	if f.ix != nil {
-		f.ix.Update(hs.index, hs.committed, f.ipol.Score(f.info(hs)))
+	if f.ix == nil {
+		return
 	}
+	eff := f.effCap(hs)
+	score := math.Inf(1)
+	if eff > 0 {
+		score = f.ipol.Score(f.info(hs))
+	}
+	f.ix.Update(hs.index, hs.committed+(f.capacity()-eff), score)
 }
 
 // Engine returns the cell's private engine.
@@ -349,6 +431,7 @@ func (f *Fleet) Run() *Result {
 	if cfg.Migration.Every > 0 {
 		f.eng.After(cfg.Migration.Every, f.migrationTick)
 	}
+	f.scheduleFaults()
 	if cfg.Telemetry != nil {
 		f.rec = f.attachTelemetry(*cfg.Telemetry, arr)
 		f.rec.Start()
@@ -365,20 +448,32 @@ func (f *Fleet) arrive(a Arrival) {
 	cfg.Tracer.Emit(now, vtrace.KindVMArrive, name, int64(a.Type.VCPUs), 0, 0)
 	f.reg.Counter("fleet.arrivals").Inc()
 
-	var hi int
-	if f.ix != nil {
-		hi = f.ipol.PlaceIndexed(f.ix, a.Type.VCPUs)
-	} else {
-		hi = cfg.Policy.Place(f.view(), a.Type.VCPUs)
-	}
-	if hi < 0 || hi >= len(f.hosts) ||
-		f.hosts[hi].committed+a.Type.VCPUs > f.capacity() {
+	hi := f.chooseHost(a.Type.VCPUs)
+	if hi < 0 {
 		f.rejected++
 		f.reg.Counter("fleet.rejected").Inc()
 		cfg.Tracer.Emit(now, vtrace.KindVMPlace, name, -1, int64(a.Type.VCPUs), 0)
 		return
 	}
+	vm := f.spawn(a, hi, name)
+	f.placed++
+	f.reg.Counter("fleet.placed").Inc()
+	cfg.Tracer.Emit(now, vtrace.KindVMPlace, name, int64(hi), int64(a.Type.VCPUs), int64(f.hosts[hi].committed))
+
+	if a.Lifetime > 0 {
+		vm.deadline = now.Add(a.Lifetime)
+		f.eng.At(vm.deadline, func() { f.depart(vm) })
+	}
+}
+
+// spawn materialises one VM incarnation on host hi: threads, guest, vSched,
+// workload, bookkeeping. Shared by first placement (arrive) and crash restart
+// (faultplane.go); the caller does its own counting and trace emission.
+func (f *Fleet) spawn(a Arrival, hi int, name string) *fleetVM {
+	cfg := f.cfg
 	hs := f.hosts[hi]
+	f.accrueUp(f.eng.Now())
+	f.totCommitted += a.Type.VCPUs
 	threads := hs.pickThreads(a.Type.VCPUs)
 	hts := make([]*host.Thread, len(threads))
 	for i, t := range threads {
@@ -414,13 +509,7 @@ func (f *Fleet) arrive(a Arrival) {
 	hs.vms = append(hs.vms, vm)
 	f.reindex(hs)
 	f.vms = append(f.vms, vm)
-	f.placed++
-	f.reg.Counter("fleet.placed").Inc()
-	cfg.Tracer.Emit(now, vtrace.KindVMPlace, name, int64(hi), int64(a.Type.VCPUs), int64(hs.committed))
-
-	if a.Lifetime > 0 {
-		f.eng.After(a.Lifetime, func() { f.depart(vm) })
-	}
+	return vm
 }
 
 // depart destroys a VM: its workload stops (batch threads exit at the next
@@ -434,6 +523,8 @@ func (f *Fleet) depart(vm *fleetVM) {
 	vm.alive = false
 	vm.inst.(stopper).Stop()
 	hs := f.hosts[vm.hostIdx]
+	f.accrueUp(f.eng.Now())
+	f.totCommitted -= vm.typ.VCPUs
 	hs.release(vm.threads)
 	hs.removeVM(vm)
 	f.reindex(hs)
@@ -483,18 +574,58 @@ func (f *Fleet) collect(arr []Arrival) *Result {
 	if f.cfg.VSched {
 		guestName = "vSched"
 	}
+	// Close the availability ledger: the committed integral runs to the
+	// horizon, and victims still pending accrue their outage tail.
+	now := f.eng.Now()
+	f.accrueUp(now)
+	for _, e := range f.pending {
+		f.downVCPUSeconds += now.Sub(e.downSince).Seconds() * float64(e.vcpus)
+	}
+	// Conservation: every placement chain ends in exactly one of departed,
+	// lost, pending or alive-at-horizon.
+	aliveEnd := 0
+	for _, vm := range f.vms {
+		if vm.alive {
+			aliveEnd++
+		}
+	}
+	if f.placed != f.departed+f.lost+len(f.pending)+aliveEnd {
+		panic(fmt.Sprintf(
+			"fleet: VM conservation violated: placed=%d departed=%d lost=%d pending=%d alive=%d",
+			f.placed, f.departed, f.lost, len(f.pending), aliveEnd))
+	}
+	availability := 1.0
+	if f.upVCPUSeconds+f.downVCPUSeconds > 0 {
+		availability = f.upVCPUSeconds / (f.upVCPUSeconds + f.downVCPUSeconds)
+	}
+	mttrMean := 0.0
+	if f.ttrCount > 0 {
+		mttrMean = f.ttrSum / float64(f.ttrCount)
+	}
 	r := &Result{
-		Policy:     f.cfg.Policy.Name(),
-		Guest:      guestName,
-		Arrivals:   len(arr),
-		Placed:     f.placed,
-		Rejected:   f.rejected,
-		Departed:   f.departed,
-		Migrations: f.migrations,
-		E2E:        f.reg.Histogram("fleet.e2e"),
-		Events:     f.eng.Fired(),
-		Registry:   f.reg,
-		Telemetry:  f.rec,
+		Policy:       f.cfg.Policy.Name(),
+		Guest:        guestName,
+		Arrivals:     len(arr),
+		Placed:       f.placed,
+		Rejected:     f.rejected,
+		Departed:     f.departed,
+		Migrations:   f.migrations,
+		E2E:          f.reg.Histogram("fleet.e2e"),
+		Events:       f.eng.Fired(),
+		Registry:     f.reg,
+		Telemetry:    f.rec,
+		Crashes:      f.crashes,
+		Brownouts:    f.brownouts,
+		Stalls:       f.stalls,
+		Killed:       f.killed,
+		Restarts:     f.restarts,
+		Lost:         f.lost,
+		Evacuations:  f.evacuations,
+		EvacFailures: f.evacFailures,
+		PendingAtEnd: len(f.pending),
+		Availability: availability,
+		MTTRMean:     mttrMean,
+		MTTRMax:      f.ttrMax,
 	}
 	for _, vm := range f.vms {
 		r.Ops += vm.inst.Ops()

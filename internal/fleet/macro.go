@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"vsched/internal/cloudgen"
+	"vsched/internal/faults"
 	"vsched/internal/metrics"
 	"vsched/internal/sim"
 	"vsched/internal/telemetry"
@@ -60,6 +61,20 @@ type MacroConfig struct {
 	// run starts (the experiments harness uses it to track effort and
 	// propagate interrupts).
 	Observe func(*sim.Engine)
+	// Faults, when non-nil, injects the host fault schedule: crashes kill
+	// resident VMs, brownouts shrink effective capacity, stalls freeze
+	// progress for an epoch's worth of time. Fault effects quantize to the
+	// epoch grid the way arrivals do: an event lands at the boundary of the
+	// epoch containing it, and a fault is active for an epoch iff it is
+	// active at that epoch's start.
+	Faults *faults.Schedule
+	// Recovery enables the reaction to faults: crash victims and rejected
+	// arrivals enter a bounded pending-retry queue with capped exponential
+	// backoff, and VMs on degraded hosts evacuate through the placement
+	// policy (the macro tier's migration mechanism). Disabled, crash
+	// victims are lost and rejections are terminal — the graceful-
+	// degradation baseline.
+	Recovery faults.RecoveryConfig
 }
 
 // MacroResult is one macro cell's outcome.
@@ -86,6 +101,29 @@ type MacroResult struct {
 	P95Steal float64
 	// TotalStealHours is fleet-wide accumulated steal in vCPU-hours.
 	TotalStealHours float64
+	// Fault-plane outcome. Crashes/Brownouts/Stalls count applied host
+	// fault events; Killed counts VM kills by crashes (a VM crashing twice
+	// counts twice); Restarts successful re-placements; Evacuations VM
+	// moves off degraded hosts; EvacFailures aborted evacuation attempts
+	// (the migration-failure law); Lost terminal losses (retry budget or
+	// queue overflow — or every crash victim when recovery is off);
+	// PendingAtEnd VMs still waiting in the retry queue at the horizon;
+	// RunningAtEnd VMs alive at the horizon. Conservation holds exactly:
+	// Arrivals processed == Lifetimes + Lost + Rejected + RunningAtEnd +
+	// PendingAtEnd (RunMacro panics otherwise).
+	Crashes, Brownouts, Stalls int
+	Killed, Restarts, Lost     int
+	Evacuations, EvacFailures  int
+	PendingAtEnd, RunningAtEnd int
+	// Availability is committed vCPU-seconds over committed plus crash-
+	// outage vCPU-seconds (1.0 when nothing ever crashed). MTTRMean/MTTRMax
+	// summarize restart time-to-recover in seconds; LostVCPUHours is batch
+	// progress destroyed by crashes; DownVCPUHours the capacity-weighted
+	// outage time of crash victims.
+	Availability      float64
+	MTTRMean, MTTRMax float64
+	LostVCPUHours     float64
+	DownVCPUHours     float64
 	// Snapshot is the canonical byte encoding of final simulation state;
 	// serial and sharded runs of the same config must produce identical
 	// bytes.
@@ -96,19 +134,36 @@ type MacroResult struct {
 	Telemetry *telemetry.Recorder
 }
 
+// VM lifecycle states for the conservation ledger: every trace VM that
+// arrived is in exactly one, and result() panics if the counts don't add up.
+const (
+	vmUnborn    uint8 = iota // not yet arrived
+	vmRunning                // placed and alive
+	vmPending                // in the retry queue (crash victim or admission retry)
+	vmCompleted              // departed inside the horizon
+	vmLost                   // terminally lost (crash + retry budget/queue/no recovery)
+	vmRejected               // terminally rejected at admission
+)
+
 // macroVM is one VM's compact bookkeeping (no per-vCPU state).
 type macroVM struct {
-	at     sim.Time
-	depart sim.Time // service deadline; batch analytic completion once known
-	work   float64  // batch: remaining per-vCPU seconds of compute
-	demand float64  // per-vCPU demand weight while alive
-	steal  float64  // accumulated stolen vCPU-seconds
-	served float64  // accumulated delivered vCPU-seconds
-	host   int32
-	vcpus  int16
-	batch  bool
-	alive  bool
-	done   bool // batch budget drained, awaiting boundary departure
+	at       sim.Time
+	depart   sim.Time // service deadline; batch analytic completion once known
+	work     float64  // batch: remaining per-vCPU seconds of compute
+	origWork float64  // batch: full budget, for crash lost-progress accounting
+	demand   float64  // per-vCPU demand weight while alive
+	steal    float64  // accumulated stolen vCPU-seconds
+	served   float64  // accumulated delivered vCPU-seconds
+	// downSince marks the kill instant of a crash victim awaiting restart
+	// (time-to-recover accounting).
+	downSince sim.Time
+	host      int32
+	restarts  int32
+	vcpus     int16
+	state     uint8
+	batch     bool
+	alive     bool
+	done      bool // batch budget drained, awaiting boundary departure
 }
 
 // macroHost is one host's compact bookkeeping.
@@ -120,13 +175,39 @@ type macroHost struct {
 	stealEMA  float64
 	util      float64 // last epoch's min(1, D/threads)
 	vms       []int32 // live VM ids in placement order
+	// Fault windows, set serially at epoch boundaries. The host is down
+	// (crashed) while downUntil > t, degraded to degradeFactor x capacity
+	// while degradedUntil > t, and frozen (rho = 0) while stallUntil > t.
+	downUntil     sim.Time
+	degradedUntil sim.Time
+	stallUntil    sim.Time
+	degradeFactor float64
 }
 
 // macroAgg is the fleet-wide aggregate block the telemetry source samples.
 type macroAgg struct {
-	alive, committed  float64
-	utilMean, utilMax float64
-	di, stealEMAMean  float64
+	alive, committed    float64
+	utilMean, utilMax   float64
+	di, stealEMAMean    float64
+	hostsDown           float64
+	hostsDegraded       float64
+	hostsStalled        float64
+	pendingRetry        float64
+	restarts, lost      float64
+	evacuations, killed float64
+}
+
+// retryEntry is one VM waiting in the bounded pending-retry queue: a crash
+// victim awaiting restart, or a rejected arrival awaiting re-admission.
+type retryEntry struct {
+	id      int32
+	admit   bool     // admission retry (never placed) vs crash restart
+	attempt int32    // 1-based attempt number this entry represents
+	readyAt sim.Time // boundary at/after which the attempt runs
+	// remaining is a crashed service VM's unserved wall-clock lifetime,
+	// resumed on restart. Batch VMs restart with their full budget (the
+	// destroyed progress is lost work).
+	remaining sim.Duration
 }
 
 type macroSim struct {
@@ -140,6 +221,7 @@ type macroSim struct {
 	ipol    IndexedPolicy
 	next    int // first trace VM not yet arrived
 	horizon sim.Time
+	now     sim.Time // current boundary time (effective-capacity clock)
 
 	placed, rejected, departed int
 	events                     uint64
@@ -147,6 +229,25 @@ type macroSim struct {
 	diEpochs                   int
 	makespan                   sim.Time
 	agg                        macroAgg
+
+	// Fault plane. sched is the injected schedule (nil = no faults), rec
+	// the recovery policy (zero = disabled), nextFault the cursor into
+	// sched.Events, retryQ the bounded pending queue, migAttempts the
+	// deterministic counter feeding the migration-failure law.
+	sched       *faults.Schedule
+	rcv         faults.RecoveryConfig
+	nextFault   int
+	retryQ      []retryEntry
+	migAttempts uint64
+
+	crashes, brownouts, stalls int
+	killed, restarts, lost     int
+	evacuations, evacFailures  int
+	upVCPUSeconds              float64
+	downVCPUSeconds            float64
+	lostVCPUSeconds            float64
+	ttrSum, ttrMax             float64
+	ttrCount                   int
 
 	// departQ holds live VM ids ordered by departure time then id; a plain
 	// sorted-slice sweep, rebuilt incrementally (batch completions join at
@@ -182,6 +283,10 @@ func RunMacro(cfg MacroConfig) *MacroResult {
 		eng:     sim.NewEngine(cfg.Trace.Seed),
 		reg:     metrics.NewRegistry(),
 		horizon: sim.Time(0).Add(cfg.Horizon),
+		sched:   cfg.Faults,
+	}
+	if cfg.Recovery.Enabled {
+		m.rcv = cfg.Recovery.WithDefaults()
 	}
 	m.hosts = make([]macroHost, len(cfg.Trace.Hosts))
 	caps := make([]int, len(cfg.Trace.Hosts))
@@ -232,12 +337,17 @@ func (m *macroSim) epoch() {
 	}
 }
 
-// boundary performs the serial epoch-start work at time t: departures due by
-// t, then arrivals with At < t+E placed in trace order.
+// boundary performs the serial epoch-start work at time t, in a fixed order
+// so serial and sharded runs cannot diverge: departures due by t, fault
+// events quantized to this epoch, a full index rescore, pending retries,
+// evacuation of degraded hosts, then arrivals with At < t+E in trace order.
 func (m *macroSim) boundary(t sim.Time) {
+	m.now = t
 	// Departures: the queue is sorted by (depart, id); batch VMs whose
 	// budget drained last epoch were re-sorted in with their quantized
-	// boundary departure time.
+	// boundary departure time. Killed VMs leave stale entries behind —
+	// they are skipped here (dead) or, after a restart re-appended the id,
+	// shadowed by the fresh entry (both sort on the same current depart).
 	dq := m.departQ
 	cut := 0
 	for cut < len(dq) {
@@ -256,18 +366,29 @@ func (m *macroSim) boundary(t sim.Time) {
 	}
 	m.departQ = dq[cut:]
 
-	// Rescore every host before placing: committed changed above and
-	// stealEMA changed during the last integration.
+	// Fault events landing in this epoch: crashes kill, brownouts degrade,
+	// stalls freeze.
+	m.applyFaults(t)
+
+	// Rescore every host before any placement work: committed changed
+	// above, stealEMA during the last integration, and effective capacity
+	// whenever a fault window opened or expired.
 	if m.ix != nil {
 		for i := range m.hosts {
-			h := &m.hosts[i]
-			m.ix.Update(i, int(h.committed), m.ipol.Score(m.macroInfo(i)))
+			m.reindexHost(i)
 		}
 	}
 
+	// Pending retries due now: crash restarts and admission re-attempts,
+	// oldest (readyAt, id) first.
+	dirty := m.retries(t)
+
+	// Evacuate degraded hosts through the placement policy — the macro
+	// tier's migration mechanism (recovery-gated).
+	m.evacuate(t)
+
 	// Arrivals in [t, t+E), already sorted by (At, ID) in the trace.
 	limit := t.Add(m.cfg.Epoch)
-	var dirty bool
 	for m.next < len(m.cfg.Trace.VMs) {
 		tv := &m.cfg.Trace.VMs[m.next]
 		if tv.At >= limit || tv.At >= m.horizon {
@@ -288,37 +409,317 @@ func (m *macroSim) boundary(t sim.Time) {
 	}
 }
 
-// macroInfo builds the policy snapshot row for host i.
+// effCap is host h's effective admission capacity at the current boundary:
+// zero while crashed, degradeFactor x capacity while browned out.
+func (m *macroSim) effCap(h *macroHost) int32 {
+	if h.downUntil > m.now {
+		return 0
+	}
+	if h.degradedUntil > m.now {
+		return int32(h.degradeFactor * float64(h.capacity))
+	}
+	return h.capacity
+}
+
+// reindexHost refreshes host i's leaf. The index tracks free = capacity -
+// committed against the *configured* leaf capacity, so degraded capacity is
+// folded in by inflating committed with the lost headroom; a fully-down host
+// scores +Inf (never NaN — NaN would poison BestScore pruning).
+func (m *macroSim) reindexHost(i int) {
+	if m.ix == nil {
+		return
+	}
+	h := &m.hosts[i]
+	eff := m.effCap(h)
+	score := math.Inf(1)
+	if eff > 0 {
+		score = m.ipol.Score(m.macroInfo(i))
+	}
+	m.ix.Update(i, int(h.committed)+int(h.capacity-eff), score)
+}
+
+// applyFaults applies schedule events landing in epoch [t, t+E).
+func (m *macroSim) applyFaults(t sim.Time) {
+	if m.sched == nil {
+		return
+	}
+	limit := t.Add(m.cfg.Epoch)
+	for m.nextFault < len(m.sched.Events) {
+		ev := m.sched.Events[m.nextFault]
+		if ev.At >= limit || ev.At >= m.horizon {
+			break
+		}
+		m.nextFault++
+		if ev.Host < 0 || ev.Host >= len(m.hosts) {
+			panic(fmt.Sprintf("fleet: fault event host %d outside fleet of %d", ev.Host, len(m.hosts)))
+		}
+		h := &m.hosts[ev.Host]
+		until := ev.Until()
+		m.events++
+		switch ev.Kind {
+		case faults.Crash:
+			m.crashes++
+			m.reg.Counter("fleet.macro.crashes").Inc()
+			if until > h.downUntil {
+				h.downUntil = until
+			}
+			for _, id := range h.vms {
+				m.kill(id, t)
+			}
+			h.vms = h.vms[:0]
+			h.committed = 0
+		case faults.Brownout:
+			m.brownouts++
+			m.reg.Counter("fleet.macro.brownouts").Inc()
+			h.degradedUntil = until
+			h.degradeFactor = ev.Factor
+		case faults.Stall:
+			m.stalls++
+			m.reg.Counter("fleet.macro.stalls").Inc()
+			h.stallUntil = until
+		}
+	}
+}
+
+// kill marks VM id dead after its host crashed: batch progress since the
+// last (re)start is destroyed, and the VM either enters the retry queue
+// (recovery) or is terminally lost.
+func (m *macroSim) kill(id int32, t sim.Time) {
+	vm := &m.vms[id]
+	vm.alive = false
+	vm.done = false
+	vm.downSince = t
+	m.killed++
+	m.events++
+	m.reg.Counter("fleet.macro.killed").Inc()
+	if vm.batch {
+		m.lostVCPUSeconds += (vm.origWork - vm.work) * float64(vm.vcpus)
+	}
+	if !m.rcv.Enabled {
+		vm.state = vmLost
+		m.lost++
+		m.reg.Counter("fleet.macro.lost").Inc()
+		return
+	}
+	vm.state = vmPending
+	var remaining sim.Duration
+	if !vm.batch {
+		remaining = vm.depart.Sub(t) // > 0: departures due by t already ran
+	}
+	m.enqueue(retryEntry{
+		id:        id,
+		attempt:   1,
+		readyAt:   t.Add(m.rcv.Backoff(1)),
+		remaining: remaining,
+	}, t)
+}
+
+// enqueue admits an entry to the bounded retry queue; overflow is
+// immediately terminal (bounded restart debt is the point).
+func (m *macroSim) enqueue(e retryEntry, t sim.Time) {
+	if len(m.retryQ) >= m.rcv.QueueCap {
+		m.terminal(e, t)
+		return
+	}
+	m.retryQ = append(m.retryQ, e)
+	m.reg.Counter("fleet.macro.retry_queued").Inc()
+}
+
+// terminal finalizes a retry entry that ran out of road: crash victims are
+// lost, admission victims are rejected. Both land in the snapshot.
+func (m *macroSim) terminal(e retryEntry, t sim.Time) {
+	vm := &m.vms[e.id]
+	if e.admit {
+		vm.state = vmRejected
+		m.rejected++
+		m.reg.Counter("fleet.macro.rejected").Inc()
+		return
+	}
+	vm.state = vmLost
+	m.lost++
+	m.downVCPUSeconds += t.Sub(vm.downSince).Seconds() * float64(vm.vcpus)
+	m.reg.Counter("fleet.macro.lost").Inc()
+}
+
+// retries runs every queue entry due at t in (readyAt, id) order. Returns
+// whether any VM re-entered the departure queue.
+func (m *macroSim) retries(t sim.Time) bool {
+	if len(m.retryQ) == 0 {
+		return false
+	}
+	sort.SliceStable(m.retryQ, func(a, b int) bool {
+		ea, eb := m.retryQ[a], m.retryQ[b]
+		if ea.readyAt != eb.readyAt {
+			return ea.readyAt < eb.readyAt
+		}
+		return ea.id < eb.id
+	})
+	cut := 0
+	for cut < len(m.retryQ) && m.retryQ[cut].readyAt <= t {
+		cut++
+	}
+	if cut == 0 {
+		return false
+	}
+	due := append([]retryEntry(nil), m.retryQ[:cut]...)
+	m.retryQ = append(m.retryQ[:0], m.retryQ[cut:]...)
+	readmitted := false
+	for _, e := range due {
+		vm := &m.vms[e.id]
+		vcpus := int(vm.vcpus)
+		if e.admit {
+			vcpus = m.cfg.Trace.VMs[e.id].VCPUs
+		}
+		hi := m.choose(vcpus)
+		m.events++
+		if hi < 0 {
+			if int(e.attempt) >= m.rcv.MaxRetries {
+				m.terminal(e, t)
+			} else {
+				e.attempt++
+				e.readyAt = t.Add(m.rcv.Backoff(int(e.attempt)))
+				m.enqueue(e, t)
+			}
+			continue
+		}
+		if e.admit {
+			m.admit(int(e.id), hi, t)
+		} else {
+			m.restart(e, hi, t)
+		}
+		readmitted = true
+	}
+	return readmitted
+}
+
+// restart re-places a crash victim on host hi: service VMs resume their
+// remaining wall-clock lifetime, batch VMs restart their full budget.
+func (m *macroSim) restart(e retryEntry, hi int, t sim.Time) {
+	vm := &m.vms[e.id]
+	h := &m.hosts[hi]
+	h.committed += int32(vm.vcpus)
+	vm.host = int32(hi)
+	vm.alive = true
+	vm.state = vmRunning
+	vm.restarts++
+	if vm.batch {
+		vm.work = vm.origWork
+		vm.done = false
+		vm.depart = m.horizon
+	} else {
+		vm.depart = t.Add(e.remaining)
+	}
+	h.vms = append(h.vms, e.id)
+	m.departQ = append(m.departQ, e.id)
+	m.restarts++
+	m.events++
+	m.reg.Counter("fleet.macro.restarts").Inc()
+	ttr := t.Sub(vm.downSince).Seconds()
+	m.ttrSum += ttr
+	m.ttrCount++
+	if ttr > m.ttrMax {
+		m.ttrMax = ttr
+	}
+	m.downVCPUSeconds += ttr * float64(vm.vcpus)
+	m.reindexHost(hi)
+}
+
+// evacuate drains hosts whose commitment exceeds their degraded capacity,
+// newest VM first (coldest state), re-placing through the policy. Each
+// attempt consults the migration-failure law; a failed attempt abandons the
+// host until the next boundary. A VM with nowhere to go stays — graceful
+// degradation: the overcommit persists and shows up as steal.
+func (m *macroSim) evacuate(t sim.Time) {
+	if !m.rcv.Enabled || m.sched == nil {
+		return
+	}
+	for i := range m.hosts {
+		h := &m.hosts[i]
+		for h.committed > m.effCap(h) && len(h.vms) > 0 {
+			id := h.vms[len(h.vms)-1]
+			vm := &m.vms[id]
+			m.migAttempts++
+			m.events++
+			if m.sched.MigrationFails(m.migAttempts) {
+				m.evacFailures++
+				m.reg.Counter("fleet.macro.evac_failures").Inc()
+				break
+			}
+			hi := m.choose(int(vm.vcpus))
+			if hi < 0 || hi == i {
+				break // nowhere to go: stay overcommitted, steal rises
+			}
+			h.vms = h.vms[:len(h.vms)-1]
+			h.committed -= int32(vm.vcpus)
+			d := &m.hosts[hi]
+			d.committed += int32(vm.vcpus)
+			d.vms = append(d.vms, id)
+			vm.host = int32(hi)
+			m.evacuations++
+			m.reg.Counter("fleet.macro.evacuations").Inc()
+			m.reindexHost(i)
+			m.reindexHost(hi)
+		}
+	}
+}
+
+// macroInfo builds the policy snapshot row for host i. Capacity is the
+// effective (fault-adjusted) bound, so linear policies steer around degraded
+// hosts exactly like the indexed path.
 func (m *macroSim) macroInfo(i int) HostInfo {
 	h := &m.hosts[i]
 	return HostInfo{
 		Index:     i,
 		Committed: int(h.committed),
-		Capacity:  int(h.capacity),
+		Capacity:  int(m.effCap(h)),
 		VMs:       len(h.vms),
 		StealRate: h.stealEMA,
 	}
 }
 
-// place admits trace VM idx at epoch time t (or rejects it).
+// choose picks a host for a vcpus-wide VM through the index or the linear
+// snapshot scan; -1 means nothing fits.
+func (m *macroSim) choose(vcpus int) int {
+	if m.ix != nil {
+		return m.ipol.PlaceIndexed(m.ix, vcpus)
+	}
+	snap := make([]HostInfo, len(m.hosts))
+	for i := range m.hosts {
+		snap[i] = m.macroInfo(i)
+	}
+	return m.cfg.Policy.Place(snap, vcpus)
+}
+
+// place admits trace VM idx at epoch time t. A rejection is terminal only
+// without recovery; with recovery the VM queues for re-admission with the
+// same backoff law crash victims use, so demand is conserved, not dropped.
 func (m *macroSim) place(idx int, t sim.Time) {
 	tv := &m.cfg.Trace.VMs[idx]
-	var hi int
-	if m.ix != nil {
-		hi = m.ipol.PlaceIndexed(m.ix, tv.VCPUs)
-	} else {
-		snap := make([]HostInfo, len(m.hosts))
-		for i := range m.hosts {
-			snap[i] = m.macroInfo(i)
-		}
-		hi = m.cfg.Policy.Place(snap, tv.VCPUs)
-	}
+	hi := m.choose(tv.VCPUs)
 	m.events++
 	if hi < 0 {
+		vm := &m.vms[idx]
+		if m.rcv.Enabled {
+			vm.state = vmPending
+			m.enqueue(retryEntry{
+				id:      int32(idx),
+				admit:   true,
+				attempt: 1,
+				readyAt: t.Add(m.rcv.Backoff(1)),
+			}, t)
+			return
+		}
+		vm.state = vmRejected
 		m.rejected++
 		m.reg.Counter("fleet.macro.rejected").Inc()
 		return
 	}
+	m.admit(idx, hi, t)
+}
+
+// admit commits trace VM idx to host hi at time t.
+func (m *macroSim) admit(idx int, hi int, t sim.Time) {
+	tv := &m.cfg.Trace.VMs[idx]
 	h := &m.hosts[hi]
 	h.committed += int32(tv.VCPUs)
 	vm := &m.vms[idx]
@@ -329,9 +730,11 @@ func (m *macroSim) place(idx int, t sim.Time) {
 		vcpus:  int16(tv.VCPUs),
 		batch:  tv.Class == cloudgen.Batch,
 		alive:  true,
+		state:  vmRunning,
 	}
 	if vm.batch {
 		vm.work = tv.Work.Seconds()
+		vm.origWork = vm.work
 		vm.depart = m.horizon // until the budget drains
 	} else {
 		vm.depart = t.Add(tv.Lifetime)
@@ -340,15 +743,14 @@ func (m *macroSim) place(idx int, t sim.Time) {
 	m.departQ = append(m.departQ, int32(idx))
 	m.placed++
 	m.reg.Counter("fleet.macro.placed").Inc()
-	if m.ix != nil {
-		m.ix.Update(hi, int(h.committed), m.ipol.Score(m.macroInfo(hi)))
-	}
+	m.reindexHost(hi)
 }
 
 // depart releases VM id's commitment and removes it from its host.
 func (m *macroSim) depart(id int32) {
 	vm := &m.vms[id]
 	vm.alive = false
+	vm.state = vmCompleted
 	h := &m.hosts[vm.host]
 	h.committed -= int32(vm.vcpus)
 	for k, v := range h.vms {
@@ -427,6 +829,7 @@ func (m *macroSim) integrate(t0, t1 sim.Time) {
 	// Degree of imbalance over hosts with any capacity, serial in host order.
 	minU, maxU, sumU := math.Inf(1), math.Inf(-1), 0.0
 	sumSteal, sumCommitted, alive := 0.0, 0.0, 0.0
+	down, degraded, stalled := 0.0, 0.0, 0.0
 	for i := range m.hosts {
 		h := &m.hosts[i]
 		u := h.util
@@ -440,7 +843,18 @@ func (m *macroSim) integrate(t0, t1 sim.Time) {
 		sumSteal += h.stealEMA
 		sumCommitted += float64(h.committed)
 		alive += float64(len(h.vms))
+		if h.downUntil > t0 {
+			down++
+		} else if h.degradedUntil > t0 {
+			degraded++
+		}
+		if h.stallUntil > t0 {
+			stalled++
+		}
 	}
+	// Availability ledger: committed vCPU-seconds delivered-or-placed this
+	// epoch. The down side accrues per crash victim at restart/loss time.
+	m.upVCPUSeconds += sumCommitted * t1.Sub(t0).Seconds()
 	n := float64(len(m.hosts))
 	di := 0.0
 	if sumU > 0 {
@@ -452,12 +866,20 @@ func (m *macroSim) integrate(t0, t1 sim.Time) {
 		}
 	}
 	m.agg = macroAgg{
-		alive:        alive,
-		committed:    sumCommitted,
-		utilMean:     sumU / n,
-		utilMax:      maxU,
-		di:           di,
-		stealEMAMean: sumSteal / n,
+		alive:         alive,
+		committed:     sumCommitted,
+		utilMean:      sumU / n,
+		utilMax:       maxU,
+		di:            di,
+		stealEMAMean:  sumSteal / n,
+		hostsDown:     down,
+		hostsDegraded: degraded,
+		hostsStalled:  stalled,
+		pendingRetry:  float64(len(m.retryQ)),
+		restarts:      float64(m.restarts),
+		lost:          float64(m.lost),
+		evacuations:   float64(m.evacuations),
+		killed:        float64(m.killed),
 	}
 	m.reg.Counter("fleet.macro.epochs").Inc()
 }
@@ -469,18 +891,36 @@ func (m *macroSim) integrateRange(lo, hi int, t0, t1 sim.Time, done []int32) []i
 	const alpha = 0.4 // same smoothing the micro fleet's steal EMA uses
 	for i := lo; i < hi; i++ {
 		h := &m.hosts[i]
+		// Effective compute for this epoch: zero while crashed or stalled
+		// (stall = all demand steals, nothing progresses), degradeFactor x
+		// threads while browned out. Fault windows are set serially at
+		// boundaries, so reading them here is shard-safe.
+		effT := float64(h.threads)
+		if h.downUntil > t0 || h.stallUntil > t0 {
+			effT = 0
+		} else if h.degradedUntil > t0 {
+			effT = h.degradeFactor * float64(h.threads)
+		}
 		demand := 0.0
 		for _, id := range h.vms {
 			vm := &m.vms[id]
 			demand += float64(vm.vcpus) * vm.demand
 		}
 		rho := 1.0
-		if demand > float64(h.threads) {
-			rho = float64(h.threads) / demand
-		}
-		util := demand / float64(h.threads)
-		if util > 1 {
-			util = 1
+		util := 0.0
+		if effT <= 0 {
+			rho = 0
+			if demand > 0 {
+				util = 1
+			}
+		} else {
+			if demand > effT {
+				rho = effT / demand
+			}
+			util = demand / effT
+			if util > 1 {
+				util = 1
+			}
 		}
 		h.util = util
 		target := 0.0
@@ -515,7 +955,9 @@ func (m *macroSim) integrateRange(lo, hi int, t0, t1 sim.Time, done []int32) []i
 	return done
 }
 
-// result finalizes counters, percentiles and the canonical snapshot.
+// result finalizes counters, percentiles and the canonical snapshot, and
+// enforces the conservation law: every arrival is in exactly one terminal or
+// live state — nothing is lost unaccounted.
 func (m *macroSim) result() *MacroResult {
 	fracs := make([]float64, 0, m.placed)
 	totalSteal := 0.0
@@ -542,6 +984,47 @@ func (m *macroSim) result() *MacroResult {
 	if m.diEpochs > 0 {
 		diMean = m.diSum / float64(m.diEpochs)
 	}
+
+	// Conservation: arrived == running + pending + completed + lost +
+	// rejected, with the per-state tallies matching the incremental
+	// counters. Crash victims still pending at the horizon accrue their
+	// outage tail here.
+	var running, pending, completed, lost, rejected int
+	for i := 0; i < m.next; i++ {
+		vm := &m.vms[i]
+		switch vm.state {
+		case vmRunning:
+			running++
+		case vmPending:
+			pending++
+			if vm.vcpus > 0 { // crash victim (admission retries never ran)
+				m.downVCPUSeconds += m.horizon.Sub(vm.downSince).Seconds() * float64(vm.vcpus)
+			}
+		case vmCompleted:
+			completed++
+		case vmLost:
+			lost++
+		case vmRejected:
+			rejected++
+		default:
+			panic(fmt.Sprintf("fleet: macro VM %d arrived but has no state", i))
+		}
+	}
+	if running+pending+completed+lost+rejected != m.next ||
+		completed != m.departed || lost != m.lost || rejected != m.rejected {
+		panic(fmt.Sprintf(
+			"fleet: macro VM conservation violated: arrived=%d running=%d pending=%d completed=%d (departed=%d) lost=%d (%d) rejected=%d (%d)",
+			m.next, running, pending, completed, m.departed, lost, m.lost, rejected, m.rejected))
+	}
+
+	availability := 1.0
+	if m.upVCPUSeconds+m.downVCPUSeconds > 0 {
+		availability = m.upVCPUSeconds / (m.upVCPUSeconds + m.downVCPUSeconds)
+	}
+	mttrMean := 0.0
+	if m.ttrCount > 0 {
+		mttrMean = m.ttrSum / float64(m.ttrCount)
+	}
 	return &MacroResult{
 		Policy:          m.cfg.Policy.Name(),
 		Hosts:           len(m.hosts),
@@ -555,6 +1038,21 @@ func (m *macroSim) result() *MacroResult {
 		Makespan:        m.makespan,
 		P95Steal:        p95,
 		TotalStealHours: totalSteal / 3600,
+		Crashes:         m.crashes,
+		Brownouts:       m.brownouts,
+		Stalls:          m.stalls,
+		Killed:          m.killed,
+		Restarts:        m.restarts,
+		Lost:            m.lost,
+		Evacuations:     m.evacuations,
+		EvacFailures:    m.evacFailures,
+		PendingAtEnd:    pending,
+		RunningAtEnd:    running,
+		Availability:    availability,
+		MTTRMean:        mttrMean,
+		MTTRMax:         m.ttrMax,
+		LostVCPUHours:   m.lostVCPUSeconds / 3600,
+		DownVCPUHours:   m.downVCPUSeconds / 3600,
 		Snapshot:        m.snapshot(),
 		Registry:        m.reg,
 		Telemetry:       m.rec,
@@ -578,6 +1076,10 @@ func (m *macroSim) snapshot() []byte {
 		u64(uint64(uint32(h.committed)))
 		f64(h.stealEMA)
 		f64(h.util)
+		u64(uint64(h.downUntil))
+		u64(uint64(h.degradedUntil))
+		u64(uint64(h.stallUntil))
+		f64(h.degradeFactor)
 	}
 	for i := range m.vms {
 		vm := &m.vms[i]
@@ -592,6 +1094,7 @@ func (m *macroSim) snapshot() []byte {
 			flags |= 2
 		}
 		u64(flags)
+		u64(uint64(vm.state) | uint64(uint32(vm.restarts))<<8)
 	}
 	u64(uint64(m.placed))
 	u64(uint64(m.rejected))
@@ -601,6 +1104,24 @@ func (m *macroSim) snapshot() []byte {
 	f64(m.diMax)
 	u64(uint64(m.diEpochs))
 	u64(m.events)
+	// Fault plane: terminal rejections above plus the full recovery ledger,
+	// so a single diverging kill, restart or evacuation flips the digest.
+	u64(uint64(m.crashes))
+	u64(uint64(m.brownouts))
+	u64(uint64(m.stalls))
+	u64(uint64(m.killed))
+	u64(uint64(m.restarts))
+	u64(uint64(m.lost))
+	u64(uint64(m.evacuations))
+	u64(uint64(m.evacFailures))
+	u64(m.migAttempts)
+	u64(uint64(len(m.retryQ)))
+	f64(m.upVCPUSeconds)
+	f64(m.downVCPUSeconds)
+	f64(m.lostVCPUSeconds)
+	f64(m.ttrSum)
+	f64(m.ttrMax)
+	u64(uint64(m.ttrCount))
 	return buf
 }
 
@@ -629,4 +1150,12 @@ func (s macroSource) Collect(now sim.Time, emit func(string, float64)) {
 	emit("fleet.macro.util_max", a.utilMax)
 	emit("fleet.macro.di", a.di)
 	emit("fleet.macro.steal_ema_mean", a.stealEMAMean)
+	emit("fleet.macro.hosts_down", a.hostsDown)
+	emit("fleet.macro.hosts_degraded", a.hostsDegraded)
+	emit("fleet.macro.hosts_stalled", a.hostsStalled)
+	emit("fleet.macro.pending_retry", a.pendingRetry)
+	emit("fleet.macro.restarts_total", a.restarts)
+	emit("fleet.macro.lost_total", a.lost)
+	emit("fleet.macro.evacuations_total", a.evacuations)
+	emit("fleet.macro.killed_total", a.killed)
 }

@@ -2,9 +2,11 @@ package fleet
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"vsched/internal/cloudgen"
+	"vsched/internal/faults"
 	"vsched/internal/sim"
 	"vsched/internal/telemetry"
 )
@@ -151,5 +153,328 @@ func TestMacroRejection(t *testing.T) {
 	// An uncontended service VM accrues zero steal.
 	if res.P95Steal != 0 {
 		t.Fatalf("p95 steal %f, want 0", res.P95Steal)
+	}
+}
+
+// faultTrace2 is a hand-built two-host trace for fault mechanics: one service
+// VM and one batch VM, both FirstFit-placed on host 0.
+func faultTrace2(horizon sim.Duration) cloudgen.Trace {
+	return cloudgen.Trace{
+		Seed:    1,
+		Horizon: horizon,
+		Hosts: []cloudgen.HostSpec{
+			{Class: "h", Threads: 4, SpeedFactor: 1.0},
+			{Class: "h", Threads: 4, SpeedFactor: 1.0},
+		},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.5, Lifetime: 600 * sim.Second},
+			{ID: 1, At: 0, VCPUs: 2, Class: cloudgen.Batch, Demand: 1.0, Work: 300 * sim.Second},
+		},
+	}
+}
+
+func crashAt90() *faults.Schedule {
+	return &faults.Schedule{Seed: 1, Events: []faults.Event{
+		{At: sim.Time(0).Add(90 * sim.Second), Host: 0, Kind: faults.Crash, Duration: 600 * sim.Second},
+	}}
+}
+
+// TestMacroCrashNoRecovery: without recovery a crash is terminal for every
+// resident VM — the graceful-degradation baseline. Lost batch progress is
+// accounted exactly and the conservation ledger still balances (result()
+// panics if not).
+func TestMacroCrashNoRecovery(t *testing.T) {
+	res := RunMacro(MacroConfig{
+		Trace:  faultTrace2(1200 * sim.Second),
+		Policy: FirstFit{},
+		Faults: crashAt90(),
+	})
+	if res.Crashes != 1 || res.Killed != 2 || res.Lost != 2 {
+		t.Fatalf("crashes=%d killed=%d lost=%d, want 1/2/2", res.Crashes, res.Killed, res.Lost)
+	}
+	if res.Lifetimes != 0 || res.Rejected != 0 || res.RunningAtEnd != 0 || res.PendingAtEnd != 0 {
+		t.Fatalf("lifetimes=%d rejected=%d running=%d pending=%d, want all 0",
+			res.Lifetimes, res.Rejected, res.RunningAtEnd, res.PendingAtEnd)
+	}
+	// The crash lands on the t=60 boundary; the batch VM ran [0,60) at rho=1,
+	// so exactly 60 per-vCPU seconds x 2 vCPUs of progress were destroyed.
+	want := 120.0 / 3600
+	if math.Abs(res.LostVCPUHours-want) > 1e-12 {
+		t.Fatalf("lost vCPU-hours %v, want %v", res.LostVCPUHours, want)
+	}
+	if res.Restarts != 0 || res.Evacuations != 0 {
+		t.Fatalf("restarts=%d evacuations=%d without recovery", res.Restarts, res.Evacuations)
+	}
+}
+
+// TestMacroCrashRecovery: with recovery both victims restart on the surviving
+// host after one backoff interval and complete; recovery strictly beats the
+// no-recovery baseline, and the availability/MTTR ledger is exact.
+func TestMacroCrashRecovery(t *testing.T) {
+	trace := faultTrace2(1200 * sim.Second)
+	base := RunMacro(MacroConfig{Trace: trace, Policy: FirstFit{}, Faults: crashAt90()})
+	res := RunMacro(MacroConfig{
+		Trace:    trace,
+		Policy:   FirstFit{},
+		Faults:   crashAt90(),
+		Recovery: faults.RecoveryConfig{Enabled: true},
+	})
+	if res.Killed != 2 || res.Restarts != 2 || res.Lost != 0 {
+		t.Fatalf("killed=%d restarts=%d lost=%d, want 2/2/0", res.Killed, res.Restarts, res.Lost)
+	}
+	if res.Lifetimes != 2 {
+		t.Fatalf("lifetimes %d, want 2 (both victims recovered)", res.Lifetimes)
+	}
+	if res.Lifetimes <= base.Lifetimes {
+		t.Fatalf("recovery lifetimes %d not better than baseline %d", res.Lifetimes, base.Lifetimes)
+	}
+	// Kill at the t=60 boundary, restart at t=60+Backoff(1)=120: TTR is
+	// exactly one default backoff.
+	if res.MTTRMean != 60 || res.MTTRMax != 60 {
+		t.Fatalf("MTTR mean=%v max=%v, want exactly 60s", res.MTTRMean, res.MTTRMax)
+	}
+	if res.Availability >= 1 || res.Availability <= 0 {
+		t.Fatalf("availability %v, want in (0,1) after an outage", res.Availability)
+	}
+	if res.DownVCPUHours != 240.0/3600 {
+		t.Fatalf("down vCPU-hours %v, want 240s x 2 VMs worth", res.DownVCPUHours)
+	}
+}
+
+// TestMacroBrownoutEvacuation: a brownout shrinks effective capacity below the
+// host's commitment, and recovery evacuates the newest VM through the policy
+// until the host fits again.
+func TestMacroBrownoutEvacuation(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 900 * sim.Second,
+		Hosts: []cloudgen.HostSpec{
+			{Class: "h", Threads: 4, SpeedFactor: 1.0},
+			{Class: "h", Threads: 4, SpeedFactor: 1.0},
+		},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.5, Lifetime: 500 * sim.Second},
+			{ID: 1, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.5, Lifetime: 500 * sim.Second},
+			{ID: 2, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.5, Lifetime: 500 * sim.Second},
+		},
+	}
+	sched := &faults.Schedule{Seed: 1, Events: []faults.Event{
+		{At: sim.Time(0).Add(70 * sim.Second), Host: 0, Kind: faults.Brownout,
+			Duration: 300 * sim.Second, Factor: 0.5},
+	}}
+	res := RunMacro(MacroConfig{
+		Trace: trace, Policy: FirstFit{}, Faults: sched,
+		Recovery: faults.RecoveryConfig{Enabled: true},
+	})
+	if res.Brownouts != 1 || res.Evacuations != 1 || res.EvacFailures != 0 {
+		t.Fatalf("brownouts=%d evacuations=%d failures=%d, want 1/1/0",
+			res.Brownouts, res.Evacuations, res.EvacFailures)
+	}
+	if res.Killed != 0 || res.Lost != 0 || res.Lifetimes != 3 {
+		t.Fatalf("killed=%d lost=%d lifetimes=%d, want 0/0/3", res.Killed, res.Lost, res.Lifetimes)
+	}
+}
+
+// TestMacroBrownoutGracefulDegradation: with a single host there is nowhere to
+// evacuate to — the VMs stay, the overcommit persists, and the squeeze shows
+// up as steal rather than as lost VMs.
+func TestMacroBrownoutGracefulDegradation(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 900 * sim.Second,
+		Hosts:   []cloudgen.HostSpec{{Class: "h", Threads: 4, SpeedFactor: 1.0}},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 1.0, Lifetime: 500 * sim.Second},
+			{ID: 1, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 1.0, Lifetime: 500 * sim.Second},
+			{ID: 2, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 1.0, Lifetime: 500 * sim.Second},
+		},
+	}
+	sched := &faults.Schedule{Seed: 1, Events: []faults.Event{
+		{At: sim.Time(0).Add(70 * sim.Second), Host: 0, Kind: faults.Brownout,
+			Duration: 300 * sim.Second, Factor: 0.5},
+	}}
+	res := RunMacro(MacroConfig{
+		Trace: trace, Policy: FirstFit{}, Faults: sched,
+		Recovery: faults.RecoveryConfig{Enabled: true},
+	})
+	if res.Evacuations != 0 {
+		t.Fatalf("evacuations %d with a single host", res.Evacuations)
+	}
+	if res.Lifetimes != 3 || res.Lost != 0 {
+		t.Fatalf("lifetimes=%d lost=%d, want 3/0 (degrade, don't drop)", res.Lifetimes, res.Lost)
+	}
+	if res.TotalStealHours <= 0 {
+		t.Fatal("brownout squeeze produced no steal")
+	}
+}
+
+// TestMacroStallFreezes: a one-epoch stall contributes pure steal — no
+// progress, no kills — and stretches the batch makespan by exactly the stall.
+func TestMacroStallFreezes(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 600 * sim.Second,
+		Hosts:   []cloudgen.HostSpec{{Class: "h", Threads: 4, SpeedFactor: 1.0}},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 2, Class: cloudgen.Batch, Demand: 1.0, Work: 120 * sim.Second},
+		},
+	}
+	clean := RunMacro(MacroConfig{Trace: trace, Policy: FirstFit{}})
+	sched := &faults.Schedule{Seed: 1, Events: []faults.Event{
+		{At: sim.Time(0).Add(60 * sim.Second), Host: 0, Kind: faults.Stall, Duration: 60 * sim.Second},
+	}}
+	res := RunMacro(MacroConfig{Trace: trace, Policy: FirstFit{}, Faults: sched})
+	if res.Stalls != 1 || res.Killed != 0 || res.Lost != 0 {
+		t.Fatalf("stalls=%d killed=%d lost=%d, want 1/0/0", res.Stalls, res.Killed, res.Lost)
+	}
+	if res.Lifetimes != 1 {
+		t.Fatalf("lifetimes %d, want 1", res.Lifetimes)
+	}
+	if got, want := res.Makespan, clean.Makespan.Add(60*sim.Second); got != want {
+		t.Fatalf("stalled makespan %v, want clean %v + 60s = %v", got, clean.Makespan, want)
+	}
+	// Frozen epoch: 2 vCPUs x demand 1.0 x 60s of pure steal, 240 vCPU-s
+	// served across the two productive epochs -> steal fraction exactly 1/3.
+	if res.P95Steal != 1.0/3.0 {
+		t.Fatalf("steal fraction %v, want exactly 1/3", res.P95Steal)
+	}
+}
+
+// TestMacroEvacFailure: the deterministic migration-failure law aborts
+// evacuation attempts; the fault plane degrades gracefully (nothing is lost)
+// and the failures are counted.
+func TestMacroEvacFailure(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 900 * sim.Second,
+		Hosts: []cloudgen.HostSpec{
+			{Class: "h", Threads: 4, SpeedFactor: 1.0},
+			{Class: "h", Threads: 4, SpeedFactor: 1.0},
+		},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.5, Lifetime: 500 * sim.Second},
+			{ID: 1, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.5, Lifetime: 500 * sim.Second},
+			{ID: 2, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.5, Lifetime: 500 * sim.Second},
+		},
+	}
+	// Find a seed whose first migration attempt fails under p=0.99: the law is
+	// a pure function of (seed, attempt), so scan rather than guess.
+	var sched *faults.Schedule
+	for seed := int64(1); seed < 64; seed++ {
+		s := &faults.Schedule{Seed: seed, MigFailProb: 0.99, Events: []faults.Event{
+			{At: sim.Time(0).Add(70 * sim.Second), Host: 0, Kind: faults.Brownout,
+				Duration: 300 * sim.Second, Factor: 0.5},
+		}}
+		if s.MigrationFails(1) {
+			sched = s
+			break
+		}
+	}
+	if sched == nil {
+		t.Fatal("no seed in [1,64) fails its first migration at p=0.99")
+	}
+	res := RunMacro(MacroConfig{
+		Trace: trace, Policy: FirstFit{}, Faults: sched,
+		Recovery: faults.RecoveryConfig{Enabled: true},
+	})
+	if res.EvacFailures == 0 {
+		t.Fatal("expected at least one evacuation failure")
+	}
+	if res.Lost != 0 || res.Killed != 0 || res.Lifetimes != 3 {
+		t.Fatalf("lost=%d killed=%d lifetimes=%d, want 0/0/3", res.Lost, res.Killed, res.Lifetimes)
+	}
+}
+
+// TestMacroRejectionRetry: with recovery enabled an admission rejection is not
+// terminal — the VM waits in the retry queue and lands once capacity frees up,
+// conserving demand instead of dropping it.
+func TestMacroRejectionRetry(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 600 * sim.Second,
+		Hosts:   []cloudgen.HostSpec{{Class: "h", Threads: 4, SpeedFactor: 1.0}},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 6, Class: cloudgen.Service, Demand: 0.3, Lifetime: 100 * sim.Second},
+			{ID: 1, At: sim.Time(0).Add(10 * sim.Second), VCPUs: 6, Class: cloudgen.Service, Demand: 0.3, Lifetime: 100 * sim.Second},
+		},
+	}
+	base := RunMacro(MacroConfig{Trace: trace, Policy: FirstFit{}})
+	if base.Rejected != 1 || base.Lifetimes != 1 {
+		t.Fatalf("baseline rejected=%d lifetimes=%d, want 1/1", base.Rejected, base.Lifetimes)
+	}
+	res := RunMacro(MacroConfig{
+		Trace: trace, Policy: FirstFit{},
+		Recovery: faults.RecoveryConfig{Enabled: true},
+	})
+	if res.Rejected != 0 || res.Lifetimes != 2 || res.Placed != 2 {
+		t.Fatalf("rejected=%d lifetimes=%d placed=%d, want 0/2/2", res.Rejected, res.Lifetimes, res.Placed)
+	}
+	if res.Restarts != 0 {
+		t.Fatalf("admission retries counted as restarts: %d", res.Restarts)
+	}
+}
+
+// TestMacroRetryExhaustion: a VM that can never fit burns its bounded retry
+// budget and lands as a terminal rejection — visible in the ledger and the
+// snapshot, never silently dropped.
+func TestMacroRetryExhaustion(t *testing.T) {
+	trace := cloudgen.Trace{
+		Seed:    1,
+		Horizon: 1200 * sim.Second,
+		Hosts:   []cloudgen.HostSpec{{Class: "h", Threads: 4, SpeedFactor: 1.0}},
+		VMs: []cloudgen.VM{
+			{ID: 0, At: 0, VCPUs: 64, Class: cloudgen.Service, Demand: 0.3, Lifetime: 60 * sim.Second},
+			{ID: 1, At: 0, VCPUs: 2, Class: cloudgen.Service, Demand: 0.3, Lifetime: 90 * sim.Second},
+		},
+	}
+	res := RunMacro(MacroConfig{
+		Trace: trace, Policy: FirstFit{},
+		Recovery: faults.RecoveryConfig{Enabled: true, MaxRetries: 2},
+	})
+	if res.Rejected != 1 || res.PendingAtEnd != 0 {
+		t.Fatalf("rejected=%d pending=%d, want 1/0 after retry exhaustion", res.Rejected, res.PendingAtEnd)
+	}
+	if res.Lifetimes != 1 {
+		t.Fatalf("lifetimes %d, want 1", res.Lifetimes)
+	}
+}
+
+// TestMacroFaultShardedMatchesSerial: the whole fault plane — kills, retries,
+// restarts, evacuations, the migration-failure law — must keep serial and
+// sharded runs byte-identical under a generated fault storm.
+func TestMacroFaultShardedMatchesSerial(t *testing.T) {
+	trace := macroTestTrace(42)
+	sched := faults.Generate(42, len(trace.Hosts), trace.Horizon, faults.Config{
+		CrashMTBF:    20 * 3600 * sim.Second,
+		BrownoutMTBF: 10 * 3600 * sim.Second,
+		StallMTBF:    5 * 3600 * sim.Second,
+		MigFailProb:  0.2,
+	})
+	if len(sched.Events) == 0 {
+		t.Fatal("degenerate fault schedule")
+	}
+	for _, pol := range []Policy{FirstFit{}, StealAware{}} {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			mk := func(shards int) *MacroResult {
+				return RunMacro(MacroConfig{
+					Trace: trace, Policy: pol, Shards: shards, Faults: &sched,
+					Recovery: faults.RecoveryConfig{Enabled: true},
+				})
+			}
+			serial, sharded := mk(1), mk(7)
+			if !bytes.Equal(serial.Snapshot, sharded.Snapshot) {
+				t.Fatalf("fault plane diverged: serial %s != sharded %s",
+					SnapshotDigest(serial.Snapshot), SnapshotDigest(sharded.Snapshot))
+			}
+			if serial.Crashes == 0 || serial.Killed == 0 || serial.Restarts == 0 {
+				t.Fatalf("storm too quiet: crashes=%d killed=%d restarts=%d",
+					serial.Crashes, serial.Killed, serial.Restarts)
+			}
+			again := mk(7)
+			if !bytes.Equal(sharded.Snapshot, again.Snapshot) {
+				t.Fatal("two identical faulted runs diverged")
+			}
+		})
 	}
 }

@@ -45,9 +45,8 @@ func (f *Fleet) migrateOnce() {
 		return
 	}
 	dst := -1
-	cap := f.capacity()
 	for i, hs := range f.hosts {
-		if i == src || hs.committed+vm.typ.VCPUs > cap {
+		if i == src || hs.committed+vm.typ.VCPUs > f.effCap(hs) {
 			continue
 		}
 		if hs.stealEMA > f.hosts[src].stealEMA-cfg.Margin {
@@ -65,11 +64,19 @@ func (f *Fleet) migrateOnce() {
 }
 
 // pickMigrant chooses the cheapest VM to move: fewest vCPUs, ties to the
-// most recently placed (its cache state is coldest).
+// most recently placed (its cache state is coldest). VMs inside their
+// post-move cooldown are exempt — without this, a hotspot that flips between
+// two hosts faster than the steal EMAs settle shuttles the same VM back and
+// forth (see TestMigrationCooldownStopsPingPong).
 func (f *Fleet) pickMigrant(hs *hostState) *fleetVM {
+	cool := f.cfg.Migration.Cooldown
+	now := f.eng.Now()
 	var best *fleetVM
 	for _, vm := range hs.vms {
 		if vm.migrating {
+			continue
+		}
+		if cool > 0 && vm.moved && now.Sub(vm.lastMove) < cool {
 			continue
 		}
 		if best == nil || vm.typ.VCPUs < best.typ.VCPUs ||
@@ -97,6 +104,8 @@ func (f *Fleet) moveVM(vm *fleetVM, dst int) {
 	vm.hostIdx = dst
 	vm.threads = newThreads
 	vm.migrating = true
+	vm.moved = true
+	vm.lastMove = f.eng.Now()
 	d.vms = append(d.vms, vm)
 	f.reindex(d)
 	f.migrations++

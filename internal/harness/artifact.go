@@ -43,8 +43,9 @@ func (r *Result) Text() string {
 // otherwise a strict superset of 2; 4 adds the per-trial "telemetry" map
 // (deterministic flight-recorder snapshots — Gorilla-compressed raw chunks
 // plus rollup buckets — keyed by recorder label) and is otherwise a strict
-// superset of 3.
-const ArtifactSchemaVersion = 4
+// superset of 3; 5 adds the per-trial "retries" count (attempts consumed
+// under harness.Config.Retries) and is otherwise a strict superset of 4.
+const ArtifactSchemaVersion = 5
 
 // Artifact line types. A run artifact is JSON lines: one "run" header with
 // the full configuration and seed set, one "trial" line per trial (with its
@@ -65,16 +66,19 @@ type RunRecord struct {
 }
 
 type TrialRecord struct {
-	Type       string             `json:"type"` // "trial"
-	Experiment string             `json:"experiment"`
-	Replicate  int                `json:"replicate"`
-	Seed       int64              `json:"seed"`
-	WallMS     float64            `json:"wall_ms"`
-	Events     uint64             `json:"events"`
-	Engines    int                `json:"engines"`
-	Err        string             `json:"err,omitempty"`
-	TimedOut   bool               `json:"timed_out,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Type       string  `json:"type"` // "trial"
+	Experiment string  `json:"experiment"`
+	Replicate  int     `json:"replicate"`
+	Seed       int64   `json:"seed"`
+	WallMS     float64 `json:"wall_ms"`
+	Events     uint64  `json:"events"`
+	Engines    int     `json:"engines"`
+	Err        string  `json:"err,omitempty"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+	// Retries is the extra attempts the trial consumed under the harness
+	// retry budget (schema >= 5); absent (0) in older artifacts.
+	Retries int                `json:"retries,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Attribution is the flattened latency-attribution snapshot of every
 	// profile the trial tracked (schema >= 3); absent in older artifacts.
 	Attribution map[string]float64 `json:"attribution,omitempty"`
@@ -133,6 +137,7 @@ func (r *Result) WriteArtifact(w io.Writer) error {
 				Engines:     t.Engines,
 				Err:         t.Err,
 				TimedOut:    t.TimedOut,
+				Retries:     t.Retries,
 				Metrics:     t.Metrics,
 				Attribution: t.Attribution,
 				Telemetry:   t.Telemetry,
@@ -172,8 +177,9 @@ type Artifact struct {
 // ReadArtifact decodes a JSONL artifact produced by any schema version so
 // far. Version 1 predates the schema_version field and decodes with
 // SchemaVersion 1; version 2 lacks the attribution map (left nil); version 3
-// lacks the telemetry map (left nil); unknown line types are skipped, so
-// newer minor additions stay readable too.
+// lacks the telemetry map (left nil); version 4 lacks the retries count
+// (left 0); unknown line types are skipped, so newer minor additions stay
+// readable too.
 func ReadArtifact(r io.Reader) (*Artifact, error) {
 	a := &Artifact{}
 	sc := bufio.NewScanner(r)

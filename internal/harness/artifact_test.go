@@ -88,6 +88,13 @@ const v3Artifact = `{"type":"run","schema_version":3,"base_seed":42,"reps":1,"wo
 {"type":"summary","wall_ms":9.9,"events":500,"trials":1,"failed":0}
 `
 
+// v4Artifact is a canned schema-4 artifact (telemetry but no retries),
+// byte-for-byte in the shape WriteArtifact produced before the v5 bump.
+const v4Artifact = `{"type":"run","schema_version":4,"base_seed":42,"reps":1,"workers":4,"scale":1,"experiments":["fig3"],"seeds":[42]}
+{"type":"trial","experiment":"fig3","replicate":0,"seed":42,"wall_ms":7.2,"events":700,"engines":1,"report":{"ID":"fig3","Title":"t","Header":["a"],"Rows":[["1"]]}}
+{"type":"summary","wall_ms":7.7,"events":700,"trials":1,"failed":0}
+`
+
 // v1Artifact predates the schema_version field entirely.
 const v1Artifact = `{"type":"run","base_seed":1,"reps":1,"workers":1,"scale":1,"experiments":["fig3"],"seeds":[1]}
 {"type":"trial","experiment":"fig3","replicate":0,"seed":1,"wall_ms":1,"events":10,"engines":1}
@@ -127,6 +134,17 @@ func TestReadArtifactBackwardCompat(t *testing.T) {
 		t.Fatalf("v3 trial must decode with nil telemetry, got %v", tr.Telemetry)
 	} else if tr.Attribution["p.steal_wait_share"] != 0.5 {
 		t.Fatalf("v3 attribution lost: %+v", tr)
+	}
+
+	a, err = ReadArtifact(strings.NewReader(v4Artifact))
+	if err != nil {
+		t.Fatalf("v4 artifact must stay readable: %v", err)
+	}
+	if a.Run.SchemaVersion != 4 {
+		t.Fatalf("v4 schema read as %d", a.Run.SchemaVersion)
+	}
+	if tr := a.Trials[0]; tr.Retries != 0 {
+		t.Fatalf("v4 trial must decode with zero retries, got %d", tr.Retries)
 	}
 
 	a, err = ReadArtifact(strings.NewReader(v1Artifact))
@@ -226,8 +244,8 @@ func TestArtifactTelemetryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Run.SchemaVersion != 4 {
-		t.Fatalf("schema %d want 4", a.Run.SchemaVersion)
+	if a.Run.SchemaVersion != ArtifactSchemaVersion {
+		t.Fatalf("schema %d want %d", a.Run.SchemaVersion, ArtifactSchemaVersion)
 	}
 	for _, tr := range a.Trials {
 		switch tr.Experiment {

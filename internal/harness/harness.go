@@ -44,6 +44,13 @@ type Config struct {
 	// that overruns has its engines interrupted and is recorded as failed
 	// instead of killing the run.
 	Timeout time.Duration
+	// Retries is the number of additional attempts a trial gets after a
+	// panic or timeout (0 = fail fast). Every attempt reruns the identical
+	// (seed, scale) trial, so a retried success is byte-identical to a
+	// first-try success and determinism of the output is unaffected; only
+	// wall-clock failures (a timeout on a loaded machine) gain anything
+	// from a second try. The attempts consumed are recorded on the trial.
+	Retries int
 }
 
 func (c Config) normalized() Config {
@@ -89,6 +96,9 @@ type TrialResult struct {
 	// Err describes a panic or timeout; empty on success.
 	Err      string
 	TimedOut bool
+	// Retries is how many extra attempts the trial consumed under
+	// Config.Retries; 0 means it settled on the first try.
+	Retries int
 	// WallTime is host time spent on the trial.
 	WallTime time.Duration
 	// Events is the number of simulation events the trial fired, summed
@@ -251,9 +261,26 @@ type trialOutcome struct {
 	panicMsg string
 }
 
-// runTrial executes one trial with panic recovery and the wall-clock
-// timeout, filling the result slot.
+// runTrial executes one trial with panic recovery, the wall-clock timeout,
+// and the bounded retry budget, filling the result slot. WallTime covers
+// every attempt; the stats and report are the final attempt's.
 func runTrial(slot *TrialResult, r experiments.Runner, cfg Config) {
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		attemptTrial(slot, r, cfg)
+		slot.Retries = attempt
+		if slot.OK() || attempt >= cfg.Retries {
+			slot.WallTime = time.Since(start)
+			return
+		}
+		// Clear the failure before the next attempt; a later success must
+		// look exactly like a first-try success (bar the retry count).
+		slot.Report, slot.Err, slot.TimedOut = nil, "", false
+	}
+}
+
+// attemptTrial is a single attempt of one trial.
+func attemptTrial(slot *TrialResult, r experiments.Runner, cfg Config) {
 	stats := &experiments.Stats{}
 	opt := experiments.Options{
 		Seed:    slot.Seed,

@@ -97,6 +97,22 @@ const (
 	// transfer cost, paid the next time the task runs. A0=task id,
 	// A1=cost in cycles.
 	KindMigCost
+	// KindHostFault: a host fault began. Subject=host name, A0=fault kind
+	// (faults.Kind), A1=duration ns, A2=brownout capacity factor in
+	// millionths (0 for crash/stall).
+	KindHostFault
+	// KindHostRecover: a host fault cleared. Subject=host name, A0=fault
+	// kind.
+	KindHostRecover
+	// KindVMCrash: a fleet VM was killed by a host crash. A0=host,
+	// A1=vCPUs.
+	KindVMCrash
+	// KindVMRestart: a crashed VM was re-placed. A0=new host, A1=attempt
+	// number, A2=downtime ns (time-to-recover).
+	KindVMRestart
+	// KindVMLost: a VM was terminally lost. A0=reason (0=retry budget
+	// exhausted, 1=pending queue overflow, 2=recovery disabled), A1=vCPUs.
+	KindVMLost
 
 	// numKinds bounds per-kind arrays (Summary); keep it one past the last.
 	numKinds
@@ -148,6 +164,16 @@ func (k Kind) String() string {
 		return "vcpu-speed"
 	case KindMigCost:
 		return "mig-cost"
+	case KindHostFault:
+		return "host-fault"
+	case KindHostRecover:
+		return "host-recover"
+	case KindVMCrash:
+		return "vm-crash"
+	case KindVMRestart:
+		return "vm-restart"
+	case KindVMLost:
+		return "vm-lost"
 	}
 	return "invalid"
 }
@@ -161,7 +187,8 @@ func (k Kind) Category() string {
 	case KindTaskWakeup, KindTaskOn, KindTaskOff, KindTaskMigrate, KindBalance, KindIdlePolicy,
 		KindVCPUSpeed, KindMigCost:
 		return "guest"
-	case KindVMArrive, KindVMPlace, KindVMMigrate, KindVMExit:
+	case KindVMArrive, KindVMPlace, KindVMMigrate, KindVMExit,
+		KindHostFault, KindHostRecover, KindVMCrash, KindVMRestart, KindVMLost:
 		return "fleet"
 	default:
 		return "vsched"

@@ -3,6 +3,7 @@ package vtrace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -226,6 +227,116 @@ func TestWrapAroundExportMetadata(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte(`"droppedEvents":0`)) {
 		t.Fatal("unbounded ring must export droppedEvents:0")
+	}
+}
+
+// TestFaultStormDropAccounting floods a small ring with a burst of fault and
+// evacuation events — the pattern a host crash under recovery produces: one
+// KindHostFault followed by a KindVMCrash/KindVMRestart/KindVMLost volley —
+// and checks the drop accounting stays exact: Total counts every emit,
+// Dropped is exactly total minus capacity, the survivors are the
+// chronological tail, and Summary/Chrome export still balance.
+func TestFaultStormDropAccounting(t *testing.T) {
+	const cap = 64
+	tr := New(cap)
+	total := uint64(0)
+	var all []Event
+	emit := func(at sim.Time, k Kind, subj string, a0, a1, a2 int64) {
+		tr.Emit(at, k, subj, a0, a1, a2)
+		all = append(all, Event{At: at, Kind: k, Subject: subj, A0: a0, A1: a1, A2: a2})
+		total++
+	}
+	// 16 crashing hosts, 20 resident VMs each: far beyond the ring.
+	for h := 0; h < 16; h++ {
+		at := sim.Time(h * 1000)
+		emit(at, KindHostFault, "host", int64(h), 600_000_000_000, 0)
+		for v := 0; v < 20; v++ {
+			emit(at, KindVMCrash, "vm", int64(h), 2, 0)
+			switch v % 3 {
+			case 0:
+				emit(at+1, KindVMRestart, "vm", int64((h+1)%16), 1, 60_000_000_000)
+			case 1:
+				emit(at+1, KindVMLost, "vm", 0, 2, 0)
+			}
+		}
+		emit(at+2, KindHostRecover, "host", int64(h), 0, 0)
+	}
+	if tr.Total() != total {
+		t.Fatalf("total=%d want %d", tr.Total(), total)
+	}
+	if want := total - cap; tr.Dropped() != want {
+		t.Fatalf("dropped=%d want %d", tr.Dropped(), want)
+	}
+	events := tr.Events()
+	if len(events) != cap {
+		t.Fatalf("len(events)=%d want %d", len(events), cap)
+	}
+	// Survivors must be exactly the emission-order tail — no event corrupted
+	// or reordered by the wrap.
+	tail := all[len(all)-cap:]
+	for i := range events {
+		if events[i] != tail[i] {
+			t.Fatalf("survivor %d = %+v, want emitted tail %+v", i, events[i], tail[i])
+		}
+	}
+	// Summary must report exactly the surviving per-kind counts plus the
+	// emitted/dropped trailer.
+	kindCount := map[Kind]int{}
+	for _, ev := range events {
+		kindCount[ev.Kind]++
+	}
+	s := tr.Summary()
+	for k, n := range kindCount {
+		want := fmt.Sprintf("%s %d", k, n)
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, fmt.Sprintf("%d emitted", total)) ||
+		!strings.Contains(s, fmt.Sprintf("%d dropped", total-cap)) {
+		t.Fatalf("summary missing drop trailer:\n%s", s)
+	}
+	// The Chrome export of a fault storm must stay valid JSON and carry the
+	// same accounting.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData struct {
+			Emitted uint64 `json:"emittedEvents"`
+			Dropped uint64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("fault-storm export is not valid JSON: %v", err)
+	}
+	if doc.OtherData.Emitted != total || doc.OtherData.Dropped != total-cap {
+		t.Fatalf("otherData emitted=%d dropped=%d want %d/%d",
+			doc.OtherData.Emitted, doc.OtherData.Dropped, total, total-cap)
+	}
+}
+
+// TestFaultKindMetadata pins the new fault-plane kinds: printable names,
+// fleet category, and numbering appended after the pre-existing kinds so
+// recorded traces keep decoding.
+func TestFaultKindMetadata(t *testing.T) {
+	for k, name := range map[Kind]string{
+		KindHostFault:   "host-fault",
+		KindHostRecover: "host-recover",
+		KindVMCrash:     "vm-crash",
+		KindVMRestart:   "vm-restart",
+		KindVMLost:      "vm-lost",
+	} {
+		if k.String() != name {
+			t.Errorf("kind %d String()=%q want %q", k, k.String(), name)
+		}
+		if k.Category() != "fleet" {
+			t.Errorf("kind %v category %q, want fleet", k, k.Category())
+		}
+		if k <= KindMigCost || k >= numKinds {
+			t.Errorf("kind %v numbered %d, must sit after KindMigCost and before numKinds", k, k)
+		}
 	}
 }
 
