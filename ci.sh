@@ -31,8 +31,8 @@ go build ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/faults/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/..."
-go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/faults/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/...
+echo "== go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/faults/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/... ./internal/progress/... ./internal/obshttp/..."
+go test -race -short ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/vtrace/... ./internal/fleet/... ./internal/faults/... ./internal/cloudgen/... ./internal/latprof/... ./internal/telemetry/... ./internal/progress/... ./internal/obshttp/...
 
 # Engine differential suite under the race detector, explicitly and never
 # -short: the timing-wheel engine must match the retained heap engine
@@ -117,5 +117,18 @@ go build -o /tmp/vexp_ci ./cmd/experiments
 /tmp/vexp_ci -run faulttol -seed 42 > /tmp/vexp_faulttol_b.txt
 cmp /tmp/vexp_faulttol_a.txt /tmp/vexp_faulttol_b.txt
 rm -f /tmp/vexp_ci /tmp/vexp_faulttol_a.txt /tmp/vexp_faulttol_b.txt
+
+# Obsplane smoke: the obsplane experiment boots the embedded observability
+# server on an ephemeral port, streams the run's progress events over real
+# TCP, and scrapes /metrics concurrently — with five internal panic gates
+# (snapshot + telemetry byte-identity attached vs detached, ledger
+# conservation on the stream, final-scrape exactness). On top of that, two
+# serial runs must be byte-identical: observation is inert by construction.
+echo "== obsplane observability determinism smoke"
+go build -o /tmp/vexp_ci ./cmd/experiments
+/tmp/vexp_ci -run obsplane -scale 0.05 -seed 7 > /tmp/vexp_obsplane_a.txt
+/tmp/vexp_ci -run obsplane -scale 0.05 -seed 7 > /tmp/vexp_obsplane_b.txt
+cmp /tmp/vexp_obsplane_a.txt /tmp/vexp_obsplane_b.txt
+rm -f /tmp/vexp_ci /tmp/vexp_obsplane_a.txt /tmp/vexp_obsplane_b.txt
 
 echo "CI OK"

@@ -17,6 +17,8 @@
 //	experiments -bench core -smoke          # CI pipeline check, seconds not minutes
 //	experiments -bench diff old.json new.json  # compare artifacts, exit 1 on regression
 //	experiments -run fleetobs -telemetry    # append flight-recorder sparklines
+//	experiments -run all -progress          # rate-limited done/total + ETA heartbeat on stderr
+//	experiments -run all -serve :9137       # live /metrics + /runs/experiments/events while running
 //
 // Reports go to stdout; timing and progress go to stderr, so stdout is a
 // pure function of (-run, -seed, -reps, -scale): a -parallel N run is
@@ -35,6 +37,7 @@ import (
 
 	"vsched/internal/experiments"
 	"vsched/internal/harness"
+	"vsched/internal/obshttp"
 	"vsched/internal/profiling"
 	"vsched/internal/simbench"
 )
@@ -66,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		smoke     = fs.Bool("smoke", false, "with -bench: shrink scenarios to a CI-sized pipeline check")
 		threshold = fs.Float64("threshold", 0.10, "with -bench diff: regression threshold as a fraction (0.10 = 10% slower fails)")
 		telem     = fs.Bool("telemetry", false, "print flight-recorder sparkline summaries for experiments that record telemetry")
+		serve     = fs.String("serve", "", "serve live observability on this address for the duration of the run: Prometheus /metrics, /runs, /runs/experiments/events, pprof (e.g. 127.0.0.1:9137, or :0 for an ephemeral port)")
+		progress  = fs.Bool("progress", false, "print a rate-limited progress heartbeat (done/total trials, mean trial time, ETA) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	res := harness.Run(harness.Config{
+	hcfg := harness.Config{
 		Runners:  runners,
 		BaseSeed: *seed,
 		Reps:     *reps,
@@ -122,7 +127,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:  *parallel,
 		Timeout:  *timeout,
 		Retries:  *retries,
-	})
+	}
+	if *progress {
+		hcfg.Heartbeat = stderr
+	}
+	// The live ops plane: trial progress and the run listing served over HTTP
+	// while the harness runs. Publication is inert by construction (bounded
+	// bus, atomic handoffs), so attaching it cannot change stdout: reports
+	// stay a pure function of (-run, -seed, -reps, -scale).
+	var obsRun *obshttp.Run
+	if *serve != "" {
+		osrv := obshttp.New(obshttp.Options{})
+		bound, err := osrv.ListenAndServe(*serve)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "observability: http://%s/metrics, /runs/experiments/events\n", bound)
+		obsRun = osrv.Register("experiments")
+		hcfg.Obs = obsRun.Publisher()
+		defer func() {
+			// Mark the stream done and give attached consumers a beat to
+			// drain their terminal record before the listener dies with us.
+			obsRun.Finish()
+			time.Sleep(100 * time.Millisecond)
+			osrv.Close()
+		}()
+	}
+	res := harness.Run(hcfg)
 
 	if *out != "" {
 		f, err := os.Create(*out)

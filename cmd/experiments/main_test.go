@@ -203,3 +203,38 @@ func TestBenchDiff(t *testing.T) {
 		t.Fatal("unreadable artifact must exit 1")
 	}
 }
+
+// TestServeAndProgressInert runs the same cheap experiment with and without
+// the live ops plane (-serve on an ephemeral port, -progress heartbeat) and
+// requires byte-identical stdout: observation may add stderr diagnostics but
+// must never move a report byte.
+func TestServeAndProgressInert(t *testing.T) {
+	args := []string{"-run", "table2", "-scale", "0.2", "-seed", "11"}
+	var plain, plainErr strings.Builder
+	if code := run(args, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, plainErr.String())
+	}
+	var obs, obsErr strings.Builder
+	if code := run(append(args, "-serve", "127.0.0.1:0", "-progress"), &obs, &obsErr); code != 0 {
+		t.Fatalf("observed run exited %d: %s", code, obsErr.String())
+	}
+	if plain.String() != obs.String() {
+		t.Fatalf("-serve/-progress changed stdout:\n--- plain ---\n%s\n--- observed ---\n%s",
+			plain.String(), obs.String())
+	}
+	if !strings.Contains(obsErr.String(), "observability: http://") {
+		t.Fatalf("bound address missing from stderr: %s", obsErr.String())
+	}
+	if !strings.Contains(obsErr.String(), "harness: 1/1 trials") {
+		t.Fatalf("final heartbeat missing from stderr: %s", obsErr.String())
+	}
+}
+
+// TestServeBadAddrFails: an unbindable -serve address is a startup error,
+// not a silent no-op.
+func TestServeBadAddrFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "table2", "-serve", "256.256.256.256:1"}, &out, &errb); code != 1 {
+		t.Fatalf("bad -serve addr exited %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}

@@ -10,6 +10,7 @@
 //	vschedsim -workload canneal -threads 4 -vcpus 16 -share 0.5 -features vcap,vact,ivh -duration 30s
 //	vschedsim -workload nginx -vcpus 4 -share 0.5 -vsched -trace out.json   # open in Perfetto
 //	vschedsim -workload nginx -vcpus 4 -vsched -metrics                     # registry snapshot
+//	vschedsim -workload nginx -vcpus 4 -vsched -serve 127.0.0.1:9137        # live /metrics + progress stream
 package main
 
 import (
@@ -24,7 +25,10 @@ import (
 	"vsched/internal/cloudgen"
 	"vsched/internal/faults"
 	"vsched/internal/latprof"
+	"vsched/internal/metrics"
+	"vsched/internal/obshttp"
 	"vsched/internal/profiling"
+	"vsched/internal/progress"
 	"vsched/internal/telemetry"
 	"vsched/internal/vtrace"
 )
@@ -67,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stallAt      = fs.Duration("stallat", 0, "virtual-time offset of the injected stall (0 = midway through the measurement window)")
 		cpuProf      = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf      = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		serveAddr    = fs.String("serve", "", "serve live observability on this address while the scenario runs: Prometheus /metrics, /runs/vschedsim/events, pprof (e.g. 127.0.0.1:9137, or :0 for an ephemeral port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -198,6 +203,91 @@ func run(args []string, stdout, stderr io.Writer) int {
 	warm := vsched.Duration(warmup.Nanoseconds())
 	window := vsched.Duration(duration.Nanoseconds())
 
+	// The live ops plane: when -serve is set, the run loop below advances the
+	// engine in one-virtual-second chunks and publishes a progress event plus
+	// a metrics mirror at each chunk boundary. That boundary is an existing
+	// safepoint — Run(a) then Run(b) fires exactly the events Run(a+b) would,
+	// in the same order — so observation schedules nothing on the engine and
+	// the whole of stdout (including the engine's self-census telemetry) is
+	// byte-identical with and without -serve. Census gauges live in their own
+	// registry for the same reason, and the bound address goes to stderr.
+	var obsPublish func()
+	obsFinish := func() {}
+	if *serveAddr != "" {
+		osrv := obshttp.New(obshttp.Options{})
+		bound, err := osrv.ListenAndServe(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "observability: http://%s/metrics, /runs/vschedsim/events\n", bound)
+		obsRun := osrv.Register("vschedsim")
+		pub := obsRun.Publisher()
+		label := pub.Label(*workloadName)
+		eng := cl.Engine()
+		total := warm + window
+		obsReg := metrics.NewRegistry()
+		mirror := func() {
+			pub.PublishMirror(func(add func(fam progress.Family, name string, v float64)) {
+				vm.Metrics().VisitNumeric(func(name string, v float64) { add(progress.FamMetric, name, v) })
+				if rec != nil {
+					rec.UpdateCensus(obsReg)
+					for _, s := range rec.Series(false) {
+						add(progress.FamTelemetry, s.Name, s.Last().V)
+					}
+				}
+				tracer.UpdateCensus(obsReg)
+				obsReg.VisitNumeric(func(name string, v float64) { add(progress.FamSelf, name, v) })
+				ws := eng.WheelStats()
+				add(progress.FamSelf, "sim.fired", float64(eng.Fired()))
+				add(progress.FamSelf, "sim.pending", float64(ws.Pending))
+				add(progress.FamSelf, "sim.wheel.resident", float64(ws.WheelResident))
+			})
+		}
+		pub.Publish(progress.Event{Kind: progress.KindRunStart, Label: label, Total: int64(total)})
+		mirror()
+		var epoch int64
+		obsPublish = func() {
+			epoch++
+			pub.Publish(progress.Event{
+				Kind: progress.KindEpoch, Label: label,
+				At: int64(eng.Now()), Epoch: epoch,
+				Done: int64(inst.Ops()), Total: int64(total),
+			})
+			mirror()
+		}
+		obsFinish = func() {
+			pub.Publish(progress.Event{
+				Kind: progress.KindRunDone, Label: label,
+				At: int64(eng.Now()), Epoch: epoch, Done: int64(inst.Ops()), Total: int64(total),
+			})
+			mirror()
+			obsRun.Finish()
+			// Give attached stream consumers a beat to drain their terminal
+			// record before the listener dies with the process.
+			time.Sleep(100 * time.Millisecond)
+			osrv.Close()
+		}
+	}
+	defer obsFinish()
+	// advance is the run loop: whole-stretch when unobserved, chunked to
+	// per-second publish safepoints when -serve is live. Identical either way.
+	advance := func(d vsched.Duration) {
+		if obsPublish == nil {
+			cl.RunFor(d)
+			return
+		}
+		for d > 0 {
+			step := vsched.Duration(vsched.Second)
+			if step > d {
+				step = d
+			}
+			cl.RunFor(step)
+			d -= step
+			obsPublish()
+		}
+	}
+
 	// The single-host cousin of the fleet fault plane (internal/faults): a
 	// transient stall blocks every vCPU entity at a chosen instant and wakes
 	// them after, so the guest sees a hard steal burst — handy for watching
@@ -230,7 +320,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *watch {
 		watchLoop(stdout, cl, vm, sched, warm+window)
 	}
-	cl.RunFor(warm)
+	advance(warm)
 
 	// Latency attribution taps the event stream for the measurement window
 	// only, so warmup does not dilute the breakdown. The host gets an extra
@@ -253,7 +343,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opsBefore := inst.Ops()
 	start := time.Now()
-	cl.RunFor(window)
+	advance(window)
 	wall := time.Since(start)
 
 	ops := inst.Ops() - opsBefore

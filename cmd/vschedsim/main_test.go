@@ -277,3 +277,27 @@ func TestStallFlag(t *testing.T) {
 		t.Fatalf("stalled run not deterministic: %q vs %q", again, stalled)
 	}
 }
+
+// TestServeStdoutInert runs the golden scenario with -serve on an ephemeral
+// port and requires stdout to match the plain run byte for byte: the ops
+// plane publishes at run-loop safepoints and schedules nothing on the
+// engine, so even the engine self-census telemetry is unchanged.
+func TestServeStdoutInert(t *testing.T) {
+	plainTelem := append(append([]string{}, goldenArgs...), "-telemetry")
+	var plain2, plainErr bytes.Buffer
+	if code := run(plainTelem, &plain2, &plainErr); code != 0 {
+		t.Fatalf("plain telemetry run exited %d: %s", code, plainErr.String())
+	}
+	served := append(append([]string{}, plainTelem...), "-serve", "127.0.0.1:0")
+	var obs, obsErr bytes.Buffer
+	if code := run(served, &obs, &obsErr); code != 0 {
+		t.Fatalf("served run exited %d: %s", code, obsErr.String())
+	}
+	if !bytes.Equal(plain2.Bytes(), obs.Bytes()) {
+		t.Fatalf("-serve changed stdout:\n--- plain ---\n%s\n--- served ---\n%s",
+			plain2.String(), obs.String())
+	}
+	if !strings.Contains(obsErr.String(), "observability: http://") {
+		t.Fatalf("bound address missing from stderr: %s", obsErr.String())
+	}
+}

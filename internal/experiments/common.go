@@ -365,6 +365,7 @@ func Registry() []Runner {
 		{"fleetobs", "Telemetry flight recorder: determinism, memory bound, steal signal", FleetObs},
 		{"fleetscale", "Cloud-scale placement: 1024-host heterogeneous fleet on a generated trace", CloudScale},
 		{"faulttol", "Fault tolerance: deterministic crash/brownout schedule, recovery vs loss", FaultTol},
+		{"obsplane", "Live ops plane: HTTP metrics + progress stream, inert by construction", ObsPlane},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"vsched/internal/cloudgen"
 	"vsched/internal/faults"
 	"vsched/internal/metrics"
+	"vsched/internal/progress"
 	"vsched/internal/sim"
 	"vsched/internal/telemetry"
 )
@@ -75,6 +76,16 @@ type MacroConfig struct {
 	// victims are lost and rejections are terminal — the graceful-
 	// degradation baseline.
 	Recovery faults.RecoveryConfig
+	// Obs, when non-nil, receives structured run progress (run start/done,
+	// per-epoch conservation ledgers, fault and recovery events) and mirror
+	// snapshots of the cell registry, telemetry tails and engine self-census
+	// for live HTTP observation. Publishing is inert by construction: every
+	// publish happens at a serial safepoint (epoch boundaries) through the
+	// lock-free bus/mirror handoff, writes only fixed-size snapshots, and
+	// reads nothing back — results are byte-identical with or without it.
+	Obs *progress.Publisher
+	// ObsLabel names the run in published events (default: the policy name).
+	ObsLabel string
 }
 
 // MacroResult is one macro cell's outcome.
@@ -240,6 +251,14 @@ type macroSim struct {
 	retryQ      []retryEntry
 	migAttempts uint64
 
+	// Live progress publishing (nil obs = detached). obsLabel and the
+	// per-fault-kind detail labels are interned once at setup so the
+	// per-event publish path allocates nothing.
+	obs        *progress.Publisher
+	obsLabel   int32
+	faultLabel [3]int32
+	epochIdx   int64
+
 	crashes, brownouts, stalls int
 	killed, restarts, lost     int
 	evacuations, evacFailures  int
@@ -314,6 +333,23 @@ func RunMacro(cfg MacroConfig) *MacroResult {
 	if cfg.Observe != nil {
 		cfg.Observe(m.eng)
 	}
+	if cfg.Obs != nil {
+		m.obs = cfg.Obs
+		label := cfg.ObsLabel
+		if label == "" {
+			label = cfg.Policy.Name()
+		}
+		m.obsLabel = m.obs.Label(label)
+		m.faultLabel[faults.Crash] = m.obs.Label("crash")
+		m.faultLabel[faults.Brownout] = m.obs.Label("brownout")
+		m.faultLabel[faults.Stall] = m.obs.Label("stall")
+		m.obs.Publish(progress.Event{
+			Kind:  progress.KindRunStart,
+			Label: m.obsLabel,
+			Total: int64(len(cfg.Trace.VMs)),
+		})
+		m.publishMirror()
+	}
 	m.eng.At(0, m.epoch)
 	m.eng.Run(m.horizon)
 	m.boundary(m.horizon) // final departures + arrivals bookkeeping at the edge
@@ -325,16 +361,69 @@ func RunMacro(cfg MacroConfig) *MacroResult {
 func (m *macroSim) epoch() {
 	now := m.eng.Now()
 	m.boundary(now)
+	// Refresh the recorder's self-census gauges at the boundary so they are
+	// scrape- and sample-visible. Deliberately unconditional (not gated on
+	// m.obs): telemetry contents must not depend on whether anyone watches.
+	m.rec.UpdateCensus(m.reg)
 	end := now.Add(m.cfg.Epoch)
 	if end > m.horizon {
 		end = m.horizon
 	}
 	if end > now {
 		m.integrate(now, end)
+		m.publishEpoch(end)
 	}
 	if end < m.horizon {
 		m.eng.At(end, m.epoch)
 	}
+}
+
+// publishEpoch emits the epoch progress event (cumulative conservation
+// ledger + fleet gauges) and refreshes the metric mirror. Serial safepoint:
+// runs after the sharded integration has joined.
+func (m *macroSim) publishEpoch(end sim.Time) {
+	m.epochIdx++
+	if m.obs == nil {
+		return
+	}
+	m.obs.Publish(progress.Event{
+		Kind:      progress.KindEpoch,
+		Label:     m.obsLabel,
+		At:        int64(end),
+		Epoch:     m.epochIdx,
+		Admitted:  int64(m.next),
+		Completed: int64(m.departed),
+		Lost:      int64(m.lost),
+		Rejected:  int64(m.rejected),
+		Running:   int64(m.agg.alive),
+		Pending:   int64(len(m.retryQ)),
+		UtilMean:  m.agg.utilMean,
+		DI:        m.agg.di,
+	})
+	m.publishMirror()
+}
+
+// publishMirror swaps in a fresh snapshot of the cell registry, the
+// telemetry series tails, and the engine/recorder self-census for /metrics
+// scrapers. Reads only simulation state, from the simulation goroutine.
+func (m *macroSim) publishMirror() {
+	m.obs.PublishMirror(func(add func(progress.Family, string, float64)) {
+		m.reg.VisitNumeric(func(name string, v float64) { add(progress.FamMetric, name, v) })
+		if m.rec != nil {
+			for _, s := range m.rec.Series(false) {
+				add(progress.FamTelemetry, s.Name, s.Last().V)
+			}
+			add(progress.FamSelf, "telemetry.bytes", float64(m.rec.Bytes()))
+			add(progress.FamSelf, "telemetry.max_bytes", float64(m.rec.MaxBytes()))
+		}
+		ws := m.eng.WheelStats()
+		add(progress.FamSelf, "sim.fired", float64(m.eng.Fired()))
+		add(progress.FamSelf, "sim.pending", float64(ws.Pending))
+		add(progress.FamSelf, "sim.wheel.resident", float64(ws.WheelResident))
+		add(progress.FamSelf, "sim.wheel.slots", float64(ws.OccupiedSlots))
+		add(progress.FamSelf, "sim.wheel.overflow", float64(ws.Overflow))
+		add(progress.FamSelf, "sim.wheel.ready", float64(ws.Ready))
+	})
 }
 
 // boundary performs the serial epoch-start work at time t, in a fixed order
@@ -456,6 +545,15 @@ func (m *macroSim) applyFaults(t sim.Time) {
 		h := &m.hosts[ev.Host]
 		until := ev.Until()
 		m.events++
+		if m.obs != nil {
+			m.obs.Publish(progress.Event{
+				Kind:   progress.KindFault,
+				Label:  m.obsLabel,
+				Detail: m.faultLabel[ev.Kind],
+				At:     int64(ev.At),
+				Host:   int64(ev.Host),
+			})
+		}
 		switch ev.Kind {
 		case faults.Crash:
 			m.crashes++
@@ -622,6 +720,15 @@ func (m *macroSim) restart(e retryEntry, hi int, t sim.Time) {
 	}
 	m.downVCPUSeconds += ttr * float64(vm.vcpus)
 	m.reindexHost(hi)
+	if m.obs != nil {
+		m.obs.Publish(progress.Event{
+			Kind:    progress.KindRecovery,
+			Label:   m.obsLabel,
+			At:      int64(t),
+			Host:    int64(hi),
+			Retries: int64(e.attempt),
+		})
+	}
 }
 
 // evacuate drains hosts whose commitment exceeds their degraded capacity,
@@ -1015,6 +1122,25 @@ func (m *macroSim) result() *MacroResult {
 		panic(fmt.Sprintf(
 			"fleet: macro VM conservation violated: arrived=%d running=%d pending=%d completed=%d (departed=%d) lost=%d (%d) rejected=%d (%d)",
 			m.next, running, pending, completed, m.departed, lost, m.lost, rejected, m.rejected))
+	}
+
+	if m.obs != nil {
+		// Final ledger, after the horizon boundary's departures: the stream's
+		// terminal record, which consumers reconcile against the per-epoch
+		// events and the conservation law.
+		m.obs.Publish(progress.Event{
+			Kind:      progress.KindRunDone,
+			Label:     m.obsLabel,
+			At:        int64(m.horizon),
+			Epoch:     m.epochIdx,
+			Admitted:  int64(m.next),
+			Completed: int64(completed),
+			Lost:      int64(lost),
+			Rejected:  int64(rejected),
+			Running:   int64(running),
+			Pending:   int64(pending),
+		})
+		m.publishMirror()
 	}
 
 	availability := 1.0

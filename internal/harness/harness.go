@@ -15,11 +15,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vsched/internal/experiments"
+	"vsched/internal/progress"
 	"vsched/internal/telemetry"
 )
 
@@ -51,6 +54,18 @@ type Config struct {
 	// wall-clock failures (a timeout on a loaded machine) gain anything
 	// from a second try. The attempts consumed are recorded on the trial.
 	Retries int
+	// Obs, when non-nil, receives the trial lifecycle (run start/done,
+	// trial start/done with retry counts and truncated errors) for live HTTP
+	// observation. Publishing goes through the lock-free bounded bus and
+	// reads nothing back, so attaching it cannot perturb results.
+	Obs *progress.Publisher
+	// Heartbeat, when non-nil, receives a plain-text progress line (trials
+	// done/total, failures, mean trial wall time, ETA) every HeartbeatEvery.
+	// Intended for stderr on long interactive runs; off by default so CI
+	// logs stay clean.
+	Heartbeat io.Writer
+	// HeartbeatEvery rate-limits heartbeat lines (default 2s).
+	HeartbeatEvery time.Duration
 }
 
 func (c Config) normalized() Config {
@@ -223,6 +238,9 @@ func Run(cfg Config) *Result {
 		}
 	}
 
+	track := newRunTracker(cfg, len(specs))
+	track.start()
+
 	// Each worker owns the result slots of the trials it draws, so no
 	// locking is needed around them; the WaitGroup publishes the writes.
 	jobs := make(chan trialSpec)
@@ -232,7 +250,9 @@ func Run(cfg Config) *Result {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
+				track.trialStart(spec.slot)
 				runTrial(spec.slot, spec.runner, cfg)
+				track.trialDone(spec.slot)
 			}
 		}()
 	}
@@ -247,7 +267,156 @@ func Run(cfg Config) *Result {
 		ex.Aggregate = aggregate(ex.Trials)
 	}
 	res.WallTime = time.Since(start)
+	track.finish(res)
 	return res
+}
+
+// runTracker is the harness's progress side-channel: trial lifecycle events
+// onto the bounded bus (multi-producer safe) plus the optional stderr
+// heartbeat. Labels are interned before the workers start, so the per-trial
+// publish path takes no locks beyond the bus's atomics; only rare failure
+// details hit the label-table mutex.
+type runTracker struct {
+	obs    *progress.Publisher
+	labels map[string]int32
+	total  int64
+
+	done    atomic.Int64
+	failed  atomic.Int64
+	wallNS  atomic.Int64
+	started time.Time
+
+	hb      io.Writer
+	hbEvery time.Duration
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+func newRunTracker(cfg Config, total int) *runTracker {
+	t := &runTracker{
+		obs:     cfg.Obs,
+		total:   int64(total),
+		hb:      cfg.Heartbeat,
+		hbEvery: cfg.HeartbeatEvery,
+		started: time.Now(),
+	}
+	if t.hbEvery <= 0 {
+		t.hbEvery = 2 * time.Second
+	}
+	if t.obs != nil {
+		t.labels = make(map[string]int32, len(cfg.Runners))
+		for _, r := range cfg.Runners {
+			t.labels[r.ID] = t.obs.Label(r.ID)
+		}
+	}
+	return t
+}
+
+func (t *runTracker) start() {
+	if t.obs != nil {
+		t.obs.Publish(progress.Event{Kind: progress.KindRunStart, Total: t.total})
+	}
+	if t.hb == nil {
+		return
+	}
+	t.stop = make(chan struct{})
+	t.stopped.Add(1)
+	go func() {
+		defer t.stopped.Done()
+		tick := time.NewTicker(t.hbEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.beat()
+			}
+		}
+	}()
+}
+
+// beat writes one plain-text progress line: done/total, failures, mean trial
+// wall time, and a worker-corrected ETA for the remainder.
+func (t *runTracker) beat() {
+	done := t.done.Load()
+	line := fmt.Sprintf("harness: %d/%d trials", done, t.total)
+	if f := t.failed.Load(); f > 0 {
+		line += fmt.Sprintf(" (%d failed)", f)
+	}
+	if done > 0 {
+		mean := time.Duration(t.wallNS.Load() / done).Round(time.Millisecond)
+		line += fmt.Sprintf(", mean %v/trial", mean)
+		if left := t.total - done; left > 0 {
+			elapsed := time.Since(t.started)
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(left)).Round(time.Second)
+			line += fmt.Sprintf(", eta ~%v", eta)
+		}
+	}
+	fmt.Fprintln(t.hb, line)
+}
+
+func (t *runTracker) trialStart(slot *TrialResult) {
+	if t.obs == nil {
+		return
+	}
+	t.obs.Publish(progress.Event{
+		Kind:      progress.KindTrialStart,
+		Label:     t.labels[slot.ExperimentID],
+		Replicate: int32(slot.Replicate),
+		Done:      t.done.Load(),
+		Total:     t.total,
+	})
+}
+
+func (t *runTracker) trialDone(slot *TrialResult) {
+	done := t.done.Add(1)
+	var failed int64
+	if !slot.OK() {
+		failed = t.failed.Add(1)
+	} else {
+		failed = t.failed.Load()
+	}
+	t.wallNS.Add(int64(slot.WallTime))
+	if t.obs == nil {
+		return
+	}
+	var detail int32
+	if slot.Err != "" {
+		msg := slot.Err
+		if len(msg) > 80 {
+			msg = msg[:80]
+		}
+		detail = t.obs.Label(msg)
+	}
+	t.obs.Publish(progress.Event{
+		Kind:      progress.KindTrialDone,
+		Label:     t.labels[slot.ExperimentID],
+		Detail:    detail,
+		Replicate: int32(slot.Replicate),
+		Done:      done,
+		Total:     t.total,
+		Failed:    failed,
+		Retries:   int64(slot.Retries),
+	})
+}
+
+// finish emits the terminal event and the final heartbeat, then stops the
+// heartbeat goroutine.
+func (t *runTracker) finish(res *Result) {
+	if t.stop != nil {
+		close(t.stop)
+		t.stopped.Wait()
+		t.beat()
+	}
+	if t.obs != nil {
+		t.obs.Publish(progress.Event{
+			Kind:   progress.KindRunDone,
+			Done:   t.done.Load(),
+			Total:  t.total,
+			Failed: int64(res.Failed()),
+		})
+	}
 }
 
 // abandonGrace is how long a timed-out trial gets to unwind after its

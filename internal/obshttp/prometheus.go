@@ -1,0 +1,117 @@
+package obshttp
+
+import (
+	"strconv"
+
+	"vsched/internal/progress"
+)
+
+// Prometheus text-format exposition (version 0.0.4). Simulator metric names
+// are dotted ("fleet.macro.placed"), which is not a legal Prometheus metric
+// name, so each mirror family becomes one fixed, legal family and the
+// simulator name travels as a label value — where arbitrary bytes are legal
+// once \, ", and newline are escaped.
+//
+// The steady-state path is allocation-free beyond the response buffer:
+// every writer below appends into a caller-owned []byte (strconv.Append*,
+// no fmt, no intermediate strings).
+
+const expoHeader = `# HELP vsched_up Whether the observability server is serving.
+# TYPE vsched_up gauge
+vsched_up 1
+# HELP vsched_obs_scrapes_total Number of /metrics scrapes served.
+# TYPE vsched_obs_scrapes_total counter
+`
+
+const expoFamilies = `# HELP vsched_obs_events_published_total Progress events published to the run's bus.
+# TYPE vsched_obs_events_published_total counter
+# HELP vsched_metric Live metrics.Registry value (counter, gauge, or histogram key), published at simulation safepoints.
+# TYPE vsched_metric gauge
+# HELP vsched_telemetry_last Last sample of a telemetry flight-recorder series.
+# TYPE vsched_telemetry_last gauge
+# HELP vsched_self Simulator self-census: timing-wheel stats, vtrace drop counts, recorder occupancy.
+# TYPE vsched_self gauge
+`
+
+// runExpo is one run's scrape-time state: the immutable mirror snapshot
+// plus bus counters.
+type runExpo struct {
+	id        string
+	published uint64
+	samples   []progress.Sample
+}
+
+var familyName = [...]string{
+	progress.FamMetric:    "vsched_metric",
+	progress.FamTelemetry: "vsched_telemetry_last",
+	progress.FamSelf:      "vsched_self",
+}
+
+var familyLabel = [...]string{
+	progress.FamMetric:    "name",
+	progress.FamTelemetry: "series",
+	progress.FamSelf:      "name",
+}
+
+// appendExposition renders the full /metrics payload into buf.
+func appendExposition(buf []byte, scrapes uint64, runs []runExpo) []byte {
+	buf = append(buf, expoHeader...)
+	buf = append(buf, "vsched_obs_scrapes_total "...)
+	buf = strconv.AppendUint(buf, scrapes, 10)
+	buf = append(buf, '\n')
+	buf = append(buf, expoFamilies...)
+	for _, r := range runs {
+		buf = append(buf, "vsched_obs_events_published_total{run=\""...)
+		buf = appendEscaped(buf, r.id)
+		buf = append(buf, "\"} "...)
+		buf = strconv.AppendUint(buf, r.published, 10)
+		buf = append(buf, '\n')
+		for _, sm := range r.samples {
+			buf = appendSample(buf, r.id, sm)
+		}
+	}
+	return buf
+}
+
+// appendSample renders one `family{run="...",name="..."} value` line.
+func appendSample(buf []byte, runID string, sm progress.Sample) []byte {
+	if int(sm.Fam) >= len(familyName) {
+		return buf
+	}
+	buf = append(buf, familyName[sm.Fam]...)
+	buf = append(buf, "{run=\""...)
+	buf = appendEscaped(buf, runID)
+	buf = append(buf, "\","...)
+	buf = append(buf, familyLabel[sm.Fam]...)
+	buf = append(buf, "=\""...)
+	buf = appendEscaped(buf, sm.Name)
+	buf = append(buf, "\"} "...)
+	buf = appendFloat(buf, sm.Value)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// appendFloat renders v the way Prometheus expects: shortest 'g' form, with
+// NaN/+Inf/-Inf spelled exactly so (strconv already emits those).
+func appendFloat(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendEscaped appends s as a Prometheus label value: backslash, double
+// quote, and newline are escaped; all other bytes (including arbitrary
+// UTF-8) pass through.
+func appendEscaped(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}

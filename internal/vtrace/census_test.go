@@ -1,0 +1,36 @@
+package vtrace
+
+import (
+	"testing"
+
+	"vsched/internal/metrics"
+	"vsched/internal/sim"
+)
+
+func TestUpdateCensusAppearsInFlatten(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(sim.Time(i), KindEntityState, "vm0", 0, 1, 0)
+	}
+	reg := metrics.NewRegistry()
+	tr.UpdateCensus(reg)
+	flat := reg.Snapshot().Flatten()
+	if got := flat["vtrace.emitted"]; got != 10 {
+		t.Fatalf("vtrace.emitted = %v, want 10", got)
+	}
+	// Ring capacity 4, 10 emits: 6 overwritten.
+	if got := flat["vtrace.dropped"]; got != 6 {
+		t.Fatalf("vtrace.dropped = %v, want 6", got)
+	}
+}
+
+func TestUpdateCensusNilTracer(t *testing.T) {
+	var tr *Tracer
+	reg := metrics.NewRegistry()
+	tr.UpdateCensus(reg)
+	flat := reg.Snapshot().Flatten()
+	if flat["vtrace.emitted"] != 0 || flat["vtrace.dropped"] != 0 {
+		t.Fatalf("nil tracer census: %v", flat)
+	}
+	tr.UpdateCensus(nil) // must not panic
+}

@@ -57,10 +57,10 @@ func TestWorkloadNamesAndExperimentIDs(t *testing.T) {
 		t.Fatalf("catalogue too small: %d", len(vsched.WorkloadNames()))
 	}
 	ids := vsched.ExperimentIDs()
-	if len(ids) != 25 {
-		t.Fatalf("want 25 experiments (fig2..21 + tables + probeacc + fleet + attrib + fleetobs + fleetscale + faulttol), got %d: %v", len(ids), ids)
+	if len(ids) != 26 {
+		t.Fatalf("want 26 experiments (fig2..21 + tables + probeacc + fleet + attrib + fleetobs + fleetscale + faulttol + obsplane), got %d: %v", len(ids), ids)
 	}
-	for _, want := range []string{"fig2", "fig10b", "table2", "fig18", "fig21", "probeacc", "fleet", "attrib", "fleetscale", "faulttol"} {
+	for _, want := range []string{"fig2", "fig10b", "table2", "fig18", "fig21", "probeacc", "fleet", "attrib", "fleetscale", "faulttol", "obsplane"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
